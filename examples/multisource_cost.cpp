@@ -1,0 +1,91 @@
+// Example 5 / Figure 1 of the paper: three overlapping directory sources
+// with different access costs. The planner explores the space of proofs —
+// each proof yields a different physical plan (use one directory, use two
+// and intersect, use all three...) — and returns the cheapest complete
+// plan. Re-running with different cost assignments changes the winner,
+// which is the paper's point: these plans are not algebraic variants of one
+// another, so only proof-space exploration finds them all.
+//
+// Build & run:  ./build/examples/multisource_cost
+
+#include <iomanip>
+#include <map>
+#include <iostream>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/planner/proof_search.h"
+#include "lcp/workload/scenarios.h"
+
+namespace {
+
+void Explore(const char* label, const double source_costs[3]) {
+  using namespace lcp;
+  Scenario scenario =
+      MakeMultiSourceScenario(3, source_costs, /*profinfo_cost=*/1.0).value();
+  const Schema& schema = *scenario.schema;
+  AccessibleSchema accessible =
+      AccessibleSchema::Build(schema, AccessibleVariant::kStandard).value();
+  SimpleCostFunction cost(&schema);
+  ProofSearch search(&accessible, &cost);
+
+  // Pass 1: exhaustive enumeration (no pruning) — the full spectrum of
+  // complete plans, which are NOT algebraic variants of one another.
+  SearchOptions exhaustive;
+  exhaustive.max_access_commands = 4;
+  exhaustive.keep_all_plans = true;
+  exhaustive.prune_by_cost = false;
+  exhaustive.prune_by_dominance = false;
+  exhaustive.candidate_order = CandidateOrder::kFreeAccessFirst;
+  SearchOutcome all = search.Run(scenario.query, exhaustive).value();
+
+  // Pass 2: Algorithm 1 with both prunings — same optimum, far less work.
+  SearchOptions pruned = exhaustive;
+  pruned.keep_all_plans = false;
+  pruned.prune_by_cost = true;
+  pruned.prune_by_dominance = true;
+  SearchOutcome best = search.Run(scenario.query, pruned).value();
+
+  std::cout << "=== " << label << " (directory costs " << source_costs[0]
+            << ", " << source_costs[1] << ", " << source_costs[2] << ")\n";
+  std::cout << "exhaustive: " << all.stats.nodes_created
+            << " proof nodes, " << all.all_plans.size()
+            << " distinct complete plans:\n";
+  std::map<double, int> by_cost;
+  for (const FoundPlan& found : all.all_plans) {
+    std::cout << "  cost " << std::setw(4) << found.cost << " : ";
+    bool first = true;
+    for (const Command& cmd : found.plan.commands) {
+      if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+        std::cout << (first ? "" : " -> ")
+                  << schema.access_method(access->method).name;
+        first = false;
+      }
+    }
+    std::cout << "\n";
+  }
+  std::cout << "pruned search: " << best.stats.nodes_created << " nodes ("
+            << best.stats.pruned_cost << " cost-pruned, "
+            << best.stats.pruned_dominance
+            << " dominance-pruned), same optimum: cost " << best.best->cost
+            << "\n";
+  std::cout << "best plan:\n" << best.best->plan.ToString(schema) << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const double uniform[3] = {1.0, 1.0, 1.0};
+  const double skewed[3] = {5.0, 1.0, 3.0};
+  const double expensive_check[3] = {1.0, 1.0, 1.0};
+
+  Explore("uniform costs", uniform);
+  Explore("skewed costs", skewed);
+
+  // With a very expensive Profinfo check, intersecting directories first
+  // would pay off under a cardinality-aware cost model; under the simple
+  // (per-command) model the single cheapest directory still wins, which is
+  // exactly the distinction §2 draws between cost functions.
+  Explore("uniform again (see EXPERIMENTS.md for the cardinality-aware run)",
+          expensive_check);
+  return 0;
+}

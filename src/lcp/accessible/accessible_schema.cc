@@ -1,0 +1,202 @@
+#include "lcp/accessible/accessible_schema.h"
+
+#include <string>
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+/// Fresh variables x0..x{n-1} for a relation of arity n.
+std::vector<Term> FreshVars(int arity) {
+  std::vector<Term> vars;
+  vars.reserve(arity);
+  for (int i = 0; i < arity; ++i) {
+    vars.push_back(Term::Var(StrCat("x", i)));
+  }
+  return vars;
+}
+
+/// Rewrites an atom over base relations to the given relation map.
+Atom MapAtom(const Atom& atom, const std::vector<RelationId>& rel_map) {
+  Atom mapped = atom;
+  mapped.relation = rel_map[atom.relation];
+  return mapped;
+}
+
+Tgd MapTgd(const Tgd& tgd, const std::vector<RelationId>& rel_map,
+           const std::string& name_suffix) {
+  Tgd mapped;
+  mapped.name = tgd.name + name_suffix;
+  for (const Atom& a : tgd.body) mapped.body.push_back(MapAtom(a, rel_map));
+  for (const Atom& a : tgd.head) mapped.head.push_back(MapAtom(a, rel_map));
+  return mapped;
+}
+
+}  // namespace
+
+Result<AccessibleSchema> AccessibleSchema::Build(const Schema& base,
+                                                 AccessibleVariant variant) {
+  AccessibleSchema acc;
+  acc.base_ = &base;
+  acc.variant_ = variant;
+
+  const int n = base.num_relations();
+  acc.accessed_of_.resize(n);
+  acc.inferred_of_.resize(n);
+
+  // Base relations first, preserving ids.
+  for (RelationId r = 0; r < n; ++r) {
+    const Relation& rel = base.relation(r);
+    LCP_ASSIGN_OR_RETURN(RelationId id,
+                         acc.schema_.AddRelation(rel.name, rel.arity));
+    LCP_CHECK_EQ(id, r);
+    acc.base_of_.push_back(r);
+    acc.kind_of_.push_back(AccessibleRelationKind::kBase);
+  }
+  // Accessed and InferredAcc copies.
+  for (RelationId r = 0; r < n; ++r) {
+    const Relation& rel = base.relation(r);
+    LCP_ASSIGN_OR_RETURN(
+        acc.accessed_of_[r],
+        acc.schema_.AddRelation(StrCat("Accessed", rel.name), rel.arity));
+    acc.base_of_.push_back(r);
+    acc.kind_of_.push_back(AccessibleRelationKind::kAccessed);
+  }
+  for (RelationId r = 0; r < n; ++r) {
+    const Relation& rel = base.relation(r);
+    LCP_ASSIGN_OR_RETURN(
+        acc.inferred_of_[r],
+        acc.schema_.AddRelation(StrCat("InferredAcc", rel.name), rel.arity));
+    acc.base_of_.push_back(r);
+    acc.kind_of_.push_back(AccessibleRelationKind::kInferred);
+  }
+  LCP_ASSIGN_OR_RETURN(acc.accessible_rel_,
+                       acc.schema_.AddRelation("accessible", 1));
+  acc.base_of_.push_back(kInvalidRelation);
+  acc.kind_of_.push_back(AccessibleRelationKind::kAccessible);
+
+  for (const Value& c : base.constants()) acc.schema_.AddConstant(c);
+
+  // Original constraints (already over base ids, which are preserved).
+  acc.original_constraints_ = base.constraints();
+
+  // Inferred-accessible copies of the original constraints.
+  for (const Tgd& tgd : base.constraints()) {
+    acc.inferred_constraints_.push_back(
+        MapTgd(tgd, acc.inferred_of_, "_inf"));
+  }
+
+  // Defining axioms: AccessedR(x⃗) → accessible(x_i).
+  for (RelationId r = 0; r < n; ++r) {
+    const Relation& rel = base.relation(r);
+    for (int i = 0; i < rel.arity; ++i) {
+      Tgd axiom;
+      axiom.name = StrCat("def_", rel.name, "_", i);
+      axiom.body.push_back(Atom(acc.accessed_of_[r], FreshVars(rel.arity)));
+      axiom.head.push_back(
+          Atom(acc.accessible_rel_, {Term::Var(StrCat("x", i))}));
+      acc.defining_axioms_.push_back(std::move(axiom));
+    }
+  }
+
+  // Accessibility axioms, one per method, fused with AccessedR → InferredAccR.
+  for (AccessMethodId m = 0; m < base.num_access_methods(); ++m) {
+    const AccessMethod& method = base.access_method(m);
+    const Relation& rel = base.relation(method.relation);
+    Tgd axiom;
+    axiom.name = StrCat("access_", method.name);
+    for (int pos : method.input_positions) {
+      axiom.body.push_back(
+          Atom(acc.accessible_rel_, {Term::Var(StrCat("x", pos))}));
+    }
+    axiom.body.push_back(Atom(method.relation, FreshVars(rel.arity)));
+    axiom.head.push_back(
+        Atom(acc.accessed_of_[method.relation], FreshVars(rel.arity)));
+    axiom.head.push_back(
+        Atom(acc.inferred_of_[method.relation], FreshVars(rel.arity)));
+    acc.accessibility_axioms_.push_back(std::move(axiom));
+  }
+
+  if (variant == AccessibleVariant::kNegative) {
+    // InferredAccR(x⃗) ∧ accessible(x_1..x_n) → AccessedR(x⃗) ∧ R(x⃗),
+    // for relations R with at least one method (contrapositive of the
+    // paper's negative accessibility axioms, in chase-friendly form).
+    for (RelationId r = 0; r < n; ++r) {
+      if (base.MethodsOnRelation(r).empty()) continue;
+      const Relation& rel = base.relation(r);
+      Tgd axiom;
+      axiom.name = StrCat("negacc_", rel.name);
+      axiom.body.push_back(Atom(acc.inferred_of_[r], FreshVars(rel.arity)));
+      for (int i = 0; i < rel.arity; ++i) {
+        axiom.body.push_back(
+            Atom(acc.accessible_rel_, {Term::Var(StrCat("x", i))}));
+      }
+      axiom.head.push_back(Atom(acc.accessed_of_[r], FreshVars(rel.arity)));
+      axiom.head.push_back(Atom(r, FreshVars(rel.arity)));
+      acc.negative_axioms_.push_back(std::move(axiom));
+    }
+  }
+
+  if (variant == AccessibleVariant::kBidirectional) {
+    // InferredAccR(x⃗) ∧ accessible(inputs of mt) → AccessedR(x⃗) ∧ R(x⃗),
+    // one per method (fused with AccessedR → R).
+    for (AccessMethodId m = 0; m < base.num_access_methods(); ++m) {
+      const AccessMethod& method = base.access_method(m);
+      const Relation& rel = base.relation(method.relation);
+      Tgd axiom;
+      axiom.name = StrCat("biacc_", method.name);
+      axiom.body.push_back(
+          Atom(acc.inferred_of_[method.relation], FreshVars(rel.arity)));
+      for (int pos : method.input_positions) {
+        axiom.body.push_back(
+            Atom(acc.accessible_rel_, {Term::Var(StrCat("x", pos))}));
+      }
+      axiom.head.push_back(
+          Atom(acc.accessed_of_[method.relation], FreshVars(rel.arity)));
+      axiom.head.push_back(Atom(method.relation, FreshVars(rel.arity)));
+      acc.bidirectional_axioms_.push_back(std::move(axiom));
+    }
+  }
+
+  // Register everything with the schema's own constraint list so that
+  // generic tools (validation, printing) see a coherent schema.
+  for (const Tgd& tgd : acc.original_constraints_) {
+    LCP_RETURN_IF_ERROR(acc.schema_.AddConstraint(tgd));
+  }
+  for (const Tgd& tgd : acc.inferred_constraints_) {
+    LCP_RETURN_IF_ERROR(acc.schema_.AddConstraint(tgd));
+  }
+  return acc;
+}
+
+std::vector<Tgd> AccessibleSchema::AllAxioms() const {
+  std::vector<Tgd> all = original_constraints_;
+  all.insert(all.end(), inferred_constraints_.begin(),
+             inferred_constraints_.end());
+  all.insert(all.end(), defining_axioms_.begin(), defining_axioms_.end());
+  all.insert(all.end(), accessibility_axioms_.begin(),
+             accessibility_axioms_.end());
+  all.insert(all.end(), negative_axioms_.begin(), negative_axioms_.end());
+  all.insert(all.end(), bidirectional_axioms_.begin(),
+             bidirectional_axioms_.end());
+  return all;
+}
+
+ConjunctiveQuery AccessibleSchema::InferredAccQuery(
+    const ConjunctiveQuery& query) const {
+  ConjunctiveQuery mapped;
+  mapped.name = StrCat("InferredAcc", query.name);
+  mapped.free_variables = query.free_variables;
+  for (const Atom& atom : query.atoms) {
+    mapped.atoms.push_back(MapAtom(atom, inferred_of_));
+  }
+  for (const std::string& v : query.free_variables) {
+    mapped.atoms.push_back(Atom(accessible_rel_, {Term::Var(v)}));
+  }
+  return mapped;
+}
+
+}  // namespace lcp

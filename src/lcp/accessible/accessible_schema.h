@@ -1,0 +1,121 @@
+#ifndef LCP_ACCESSIBLE_ACCESSIBLE_SCHEMA_H_
+#define LCP_ACCESSIBLE_ACCESSIBLE_SCHEMA_H_
+
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/tgd.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// Which axiom system to generate (§3 of the paper).
+enum class AccessibleVariant {
+  /// AcSch(S0): characterizes USPJ-plans (Theorem 1); the system used by the
+  /// SPJ proof-to-plan algorithm of §4 and by Algorithm 1 (§5).
+  kStandard,
+  /// AcSch¬(S0): adds negative accessibility axioms; characterizes
+  /// USPJ¬-plans (Theorem 3).
+  kNegative,
+  /// AcSch↔(S0): adds the bidirectional axioms; characterizes RA-plans
+  /// (Theorem 2).
+  kBidirectional,
+};
+
+/// The role a relation of the accessible schema plays.
+enum class AccessibleRelationKind {
+  kBase,        ///< A relation of the original schema S0.
+  kAccessed,    ///< AccessedR — facts explicitly retrieved via accesses.
+  kInferred,    ///< InferredAccR — facts derivable from accessed facts.
+  kAccessible,  ///< The unary relation accessible(x).
+};
+
+/// The Accessible Schema AcSch(S0) (§3): the original relations plus, for
+/// each R, AccessedR and InferredAccR, plus the unary relation accessible,
+/// together with the axioms that tie them together. Base relations keep
+/// their ids from S0, so atoms over S0 remain valid over the accessible
+/// schema.
+///
+/// The accessibility axioms themselves are exposed both structurally (the
+/// planner's Algorithm 1 fires them as explicit "exposures") and as plain
+/// TGD lists (used by the saturation baseline and the interpolation tests).
+class AccessibleSchema {
+ public:
+  /// Builds the accessible schema for `base`, which must outlive the result.
+  static Result<AccessibleSchema> Build(const Schema& base,
+                                        AccessibleVariant variant);
+
+  const Schema& schema() const { return schema_; }
+  const Schema& base() const { return *base_; }
+  AccessibleVariant variant() const { return variant_; }
+
+  RelationId accessible_relation() const { return accessible_rel_; }
+  RelationId AccessedOf(RelationId base_rel) const {
+    return accessed_of_[base_rel];
+  }
+  RelationId InferredOf(RelationId base_rel) const {
+    return inferred_of_[base_rel];
+  }
+  /// Returns the base relation a relation of the accessible schema copies,
+  /// or kInvalidRelation for the `accessible` relation itself.
+  RelationId BaseOf(RelationId rel) const { return base_of_[rel]; }
+  AccessibleRelationKind KindOf(RelationId rel) const {
+    return kind_of_[rel];
+  }
+
+  /// The original integrity constraints of S0 (over base relations).
+  const std::vector<Tgd>& original_constraints() const {
+    return original_constraints_;
+  }
+  /// Copies of the original constraints over the InferredAccR relations.
+  const std::vector<Tgd>& inferred_constraints() const {
+    return inferred_constraints_;
+  }
+  /// Defining axioms AccessedR(x⃗) → accessible(x_i), one per position.
+  const std::vector<Tgd>& defining_axioms() const { return defining_axioms_; }
+  /// Accessibility axioms, one per access method:
+  ///   accessible(x_{j1}) ∧ ... ∧ R(x⃗) → AccessedR(x⃗)
+  /// combined with AccessedR(x⃗) → InferredAccR(x⃗).
+  const std::vector<Tgd>& accessibility_axioms() const {
+    return accessibility_axioms_;
+  }
+  /// For kNegative: InferredAccR(x⃗) ∧ accessible(x_1) ∧ ... ∧
+  /// accessible(x_n) → AccessedR(x⃗) ∧ R(x⃗)  (contrapositive form of the
+  /// paper's negative accessibility axioms; only for R with some method).
+  const std::vector<Tgd>& negative_axioms() const { return negative_axioms_; }
+  /// For kBidirectional: InferredAccR(x⃗) ∧ accessible(inputs of mt) →
+  /// AccessedR(x⃗) ∧ R(x⃗), one per method mt.
+  const std::vector<Tgd>& bidirectional_axioms() const {
+    return bidirectional_axioms_;
+  }
+
+  /// All axioms as one TGD list (used by the saturation baseline).
+  std::vector<Tgd> AllAxioms() const;
+
+  /// InferredAccQ (§3): each relation replaced by its InferredAcc copy, plus
+  /// an accessible(x) atom for every free variable.
+  ConjunctiveQuery InferredAccQuery(const ConjunctiveQuery& query) const;
+
+ private:
+  AccessibleSchema() = default;
+
+  Schema schema_;
+  const Schema* base_ = nullptr;
+  AccessibleVariant variant_ = AccessibleVariant::kStandard;
+  RelationId accessible_rel_ = kInvalidRelation;
+  std::vector<RelationId> accessed_of_;
+  std::vector<RelationId> inferred_of_;
+  std::vector<RelationId> base_of_;
+  std::vector<AccessibleRelationKind> kind_of_;
+  std::vector<Tgd> original_constraints_;
+  std::vector<Tgd> inferred_constraints_;
+  std::vector<Tgd> defining_axioms_;
+  std::vector<Tgd> accessibility_axioms_;
+  std::vector<Tgd> negative_axioms_;
+  std::vector<Tgd> bidirectional_axioms_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_ACCESSIBLE_ACCESSIBLE_SCHEMA_H_

@@ -1,0 +1,67 @@
+#ifndef LCP_BASE_RESULT_H_
+#define LCP_BASE_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "lcp/base/check.h"
+#include "lcp/base/status.h"
+
+namespace lcp {
+
+/// Holds either a value of type `T` or a non-OK `Status` explaining why no
+/// value is available. Analogous to absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success) or a status (failure), so
+  /// `return value;` and `return SomeError(...);` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LCP_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LCP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    LCP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    LCP_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define LCP_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  LCP_ASSIGN_OR_RETURN_IMPL_(LCP_CONCAT_(lcp_result_, __LINE__), lhs, rexpr)
+
+#define LCP_CONCAT_INNER_(a, b) a##b
+#define LCP_CONCAT_(a, b) LCP_CONCAT_INNER_(a, b)
+
+#define LCP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) {                                  \
+    return tmp.status();                            \
+  }                                                 \
+  lhs = std::move(tmp).value()
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_RESULT_H_

@@ -1,0 +1,78 @@
+#ifndef LCP_BASE_STATUS_H_
+#define LCP_BASE_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace lcp {
+
+/// Canonical error codes, modeled after the usual RPC/status conventions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. The library does not use exceptions;
+/// every fallible operation reports failure through `Status` (or `Result<T>`,
+/// which couples a `Status` with a payload).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Convenience factories for the common error codes.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// `Status` or `Result<T>`.
+#define LCP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::lcp::Status lcp_status_tmp_ = (expr);        \
+    if (!lcp_status_tmp_.ok()) {                   \
+      return lcp_status_tmp_;                      \
+    }                                              \
+  } while (false)
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_STATUS_H_

@@ -1,0 +1,20 @@
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+}  // namespace lcp

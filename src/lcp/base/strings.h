@@ -1,0 +1,46 @@
+#ifndef LCP_BASE_STRINGS_H_
+#define LCP_BASE_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcp {
+
+namespace internal_strings {
+inline void AppendPieces(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void AppendPieces(std::ostringstream& os, const T& head, const Rest&... rest) {
+  os << head;
+  AppendPieces(os, rest...);
+}
+}  // namespace internal_strings
+
+/// Concatenates the streamable arguments into one string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal_strings::AppendPieces(os, args...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`, streaming each element.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& part : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << part;
+  }
+  return os.str();
+}
+
+/// Splits `text` on `delimiter`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_STRINGS_H_

@@ -1,0 +1,232 @@
+#include "lcp/baseline/bucket.h"
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "lcp/base/strings.h"
+#include "lcp/logic/containment.h"
+
+namespace lcp {
+
+namespace {
+
+/// Renames every variable of `atom` via `mapping`, leaving constants.
+Atom SubstituteAtom(const Atom& atom,
+                    const std::unordered_map<std::string, Term>& mapping) {
+  Atom out = atom;
+  for (Term& t : out.terms) {
+    if (t.is_variable()) {
+      auto it = mapping.find(t.var());
+      if (it != mapping.end()) t = it->second;
+    }
+  }
+  return out;
+}
+
+/// Tries to extend `mapping` so that `def_atom` maps onto `subgoal`.
+bool UnifyDefAtomWithSubgoal(
+    const Atom& def_atom, const Atom& subgoal,
+    std::unordered_map<std::string, Term>& mapping) {
+  std::vector<std::string> added;
+  for (size_t i = 0; i < def_atom.terms.size(); ++i) {
+    const Term& dt = def_atom.terms[i];
+    const Term& qt = subgoal.terms[i];
+    if (dt.is_constant()) {
+      if (!qt.is_constant() || !(dt.constant() == qt.constant())) {
+        for (const std::string& v : added) mapping.erase(v);
+        return false;
+      }
+      continue;
+    }
+    auto it = mapping.find(dt.var());
+    if (it == mapping.end()) {
+      mapping.emplace(dt.var(), qt);
+      added.push_back(dt.var());
+    } else if (!(it->second == qt)) {
+      for (const std::string& v : added) mapping.erase(v);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A MiniCon-style coverage description: one usage of a view covering a set
+/// of query subgoals through a single consistent mapping of the view's
+/// definition variables to query terms.
+struct Coverage {
+  int view_index;
+  std::unordered_map<std::string, Term> mapping;
+  std::set<int> covered;
+
+  std::string Key() const {
+    std::vector<std::string> parts;
+    for (const auto& [var, term] : mapping) {
+      parts.push_back(StrCat(var, "=", term.ToString()));
+    }
+    std::sort(parts.begin(), parts.end());
+    std::vector<int> cov(covered.begin(), covered.end());
+    return StrCat(view_index, "|", StrJoin(cov, ","), "|",
+                  StrJoin(parts, ";"));
+  }
+};
+
+/// Enumerates the coverages of `view` against the query: every consistent
+/// assignment of each definition atom to either a query subgoal or "skip".
+void EnumerateCoverages(int view_index, const ConjunctiveQuery& def,
+                        const ConjunctiveQuery& query,
+                        std::vector<Coverage>& out,
+                        std::unordered_set<std::string>& seen) {
+  std::unordered_map<std::string, Term> mapping;
+  std::set<int> covered;
+  std::function<void(size_t)> rec = [&](size_t atom_index) {
+    if (atom_index == def.atoms.size()) {
+      if (covered.empty()) return;
+      Coverage coverage{view_index, mapping, covered};
+      if (seen.insert(coverage.Key()).second) {
+        out.push_back(std::move(coverage));
+      }
+      return;
+    }
+    // Option 1: this definition atom covers some query subgoal.
+    for (size_t g = 0; g < query.atoms.size(); ++g) {
+      if (def.atoms[atom_index].relation != query.atoms[g].relation) continue;
+      std::unordered_map<std::string, Term> saved = mapping;
+      if (UnifyDefAtomWithSubgoal(def.atoms[atom_index], query.atoms[g],
+                                  mapping)) {
+        covered.insert(static_cast<int>(g));
+        rec(atom_index + 1);
+        covered.erase(static_cast<int>(g));
+        mapping = std::move(saved);
+      }
+    }
+    // Option 2: skip (the atom's unmapped variables stay existential in the
+    // expansion).
+    rec(atom_index + 1);
+  };
+  rec(0);
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ExpandViews(const ConjunctiveQuery& rewriting,
+                                     const std::vector<ViewDefinition>& views) {
+  std::unordered_map<RelationId, const ViewDefinition*> by_relation;
+  for (const ViewDefinition& view : views) {
+    by_relation[view.view] = &view;
+  }
+  ConjunctiveQuery expanded;
+  expanded.name = rewriting.name + "_expanded";
+  expanded.free_variables = rewriting.free_variables;
+  int fresh_counter = 0;
+  for (const Atom& atom : rewriting.atoms) {
+    auto it = by_relation.find(atom.relation);
+    if (it == by_relation.end()) {
+      expanded.atoms.push_back(atom);
+      continue;
+    }
+    const ConjunctiveQuery& def = it->second->definition;
+    if (def.free_variables.size() != atom.terms.size()) {
+      return InvalidArgumentError(
+          StrCat("view definition arity mismatch for relation ",
+                 atom.relation));
+    }
+    std::unordered_map<std::string, Term> mapping;
+    for (size_t i = 0; i < def.free_variables.size(); ++i) {
+      mapping.emplace(def.free_variables[i], atom.terms[i]);
+    }
+    // Freshen the definition's existential variables.
+    for (const std::string& v : def.AllVariables()) {
+      if (mapping.find(v) == mapping.end()) {
+        mapping.emplace(v, Term::Var(StrCat("_e", fresh_counter++, "_", v)));
+      }
+    }
+    for (const Atom& def_atom : def.atoms) {
+      expanded.atoms.push_back(SubstituteAtom(def_atom, mapping));
+    }
+  }
+  return expanded;
+}
+
+Result<std::optional<ConjunctiveQuery>> BucketRewrite(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const std::vector<ViewDefinition>& views, BucketStats* stats) {
+  (void)schema;
+  // Phase 1: enumerate coverage descriptions (one per view usage).
+  std::vector<Coverage> coverages;
+  std::unordered_set<std::string> seen;
+  for (size_t v = 0; v < views.size(); ++v) {
+    EnumerateCoverages(static_cast<int>(v), views[v].definition, query,
+                       coverages, seen);
+  }
+  // Index: which coverages cover subgoal g.
+  std::vector<std::vector<int>> covering(query.atoms.size());
+  for (size_t c = 0; c < coverages.size(); ++c) {
+    for (int g : coverages[c].covered) covering[g].push_back(static_cast<int>(c));
+  }
+  for (size_t g = 0; g < query.atoms.size(); ++g) {
+    if (covering[g].empty()) return std::optional<ConjunctiveQuery>();
+  }
+
+  // Phase 2: combine coverages into candidates covering every subgoal;
+  // test each candidate's expansion for equivalence with the query.
+  std::optional<ConjunctiveQuery> result;
+  std::vector<int> chosen;
+  int fresh_counter = 0;
+  std::function<bool()> combine = [&]() -> bool {
+    // Find the first uncovered subgoal.
+    std::set<int> covered;
+    for (int c : chosen) {
+      covered.insert(coverages[c].covered.begin(),
+                     coverages[c].covered.end());
+    }
+    int first_uncovered = -1;
+    for (size_t g = 0; g < query.atoms.size(); ++g) {
+      if (covered.count(static_cast<int>(g)) == 0) {
+        first_uncovered = static_cast<int>(g);
+        break;
+      }
+    }
+    if (first_uncovered < 0) {
+      // Build the candidate: one view atom per chosen coverage.
+      if (stats != nullptr) ++stats->candidates_generated;
+      ConjunctiveQuery candidate;
+      candidate.name = query.name + "_over_views";
+      candidate.free_variables = query.free_variables;
+      for (int c : chosen) {
+        const Coverage& coverage = coverages[c];
+        const ViewDefinition& view = views[coverage.view_index];
+        std::vector<Term> args;
+        for (const std::string& head_var : view.definition.free_variables) {
+          auto it = coverage.mapping.find(head_var);
+          if (it != coverage.mapping.end()) {
+            args.push_back(it->second);
+          } else {
+            args.push_back(Term::Var(StrCat("_f", fresh_counter++)));
+          }
+        }
+        candidate.atoms.push_back(Atom(view.view, std::move(args)));
+      }
+      if (!candidate.Validate().ok()) return false;
+      if (stats != nullptr) ++stats->candidates_checked;
+      auto expanded = ExpandViews(candidate, views);
+      if (expanded.ok() && expanded->Validate().ok() &&
+          AreEquivalent(*expanded, query)) {
+        result = std::move(candidate);
+        return true;
+      }
+      return false;
+    }
+    if (chosen.size() >= query.atoms.size()) return false;  // Length cap.
+    for (int c : covering[first_uncovered]) {
+      chosen.push_back(c);
+      if (combine()) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  combine();
+  return result;
+}
+
+}  // namespace lcp

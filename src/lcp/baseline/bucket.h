@@ -1,0 +1,49 @@
+#ifndef LCP_BASELINE_BUCKET_H_
+#define LCP_BASELINE_BUCKET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// A view: a relation of the schema defined as a conjunctive query over
+/// other (base) relations of the same schema. The definition's free
+/// variables correspond position-wise to the view relation's columns.
+struct ViewDefinition {
+  RelationId view = kInvalidRelation;
+  ConjunctiveQuery definition;
+};
+
+struct BucketStats {
+  int candidates_generated = 0;
+  int candidates_checked = 0;
+};
+
+/// A bucket-algorithm baseline for answering queries using views, in the
+/// style of Levy et al. (the comparison point generalized by Theorem 6).
+/// For each query subgoal it collects the view atoms that can cover it,
+/// then enumerates one choice per subgoal, builds the candidate conjunctive
+/// rewriting over the view relations, and keeps the first candidate whose
+/// expansion is *equivalent* to the query (complete-answer semantics, as in
+/// the paper — not maximal containment).
+///
+/// Returns the rewriting (a CQ over view relations) or nullopt if no
+/// equivalent rewriting exists among the candidates.
+Result<std::optional<ConjunctiveQuery>> BucketRewrite(
+    const Schema& schema, const ConjunctiveQuery& query,
+    const std::vector<ViewDefinition>& views, BucketStats* stats = nullptr);
+
+/// Expands a CQ over view relations into a CQ over base relations by
+/// inlining each view's definition (existential variables freshened).
+/// Atoms over non-view relations are kept as-is.
+Result<ConjunctiveQuery> ExpandViews(const ConjunctiveQuery& rewriting,
+                                     const std::vector<ViewDefinition>& views);
+
+}  // namespace lcp
+
+#endif  // LCP_BASELINE_BUCKET_H_

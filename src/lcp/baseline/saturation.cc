@@ -1,0 +1,93 @@
+#include "lcp/baseline/saturation.h"
+
+#include <unordered_set>
+
+#include "lcp/base/strings.h"
+#include "lcp/data/query_eval.h"
+
+namespace lcp {
+
+namespace {
+
+/// Enumerates all `width`-tuples over `values`, invoking `fn`; returns false
+/// if `fn` ever returns false.
+bool ForEachTuple(const std::vector<Value>& values, int width,
+                  const std::function<bool(const Tuple&)>& fn) {
+  Tuple tuple(width);
+  std::function<bool(int)> rec = [&](int pos) {
+    if (pos == width) return fn(tuple);
+    for (const Value& v : values) {
+      tuple[pos] = v;
+      if (!rec(pos + 1)) return false;
+    }
+    return true;
+  };
+  return rec(0);
+}
+
+}  // namespace
+
+Result<SaturationResult> RunSaturation(const ConjunctiveQuery& query,
+                                       SimulatedSource& source,
+                                       const SaturationOptions& options) {
+  const Schema& schema = source.schema();
+  SaturationResult result;
+
+  // Accessible values: schema constants plus the query's constants.
+  std::vector<Value> values;
+  std::unordered_set<Value, ValueHash> value_set;
+  auto add_value = [&](const Value& v) {
+    if (value_set.insert(v).second) values.push_back(v);
+  };
+  for (const Value& c : schema.constants()) add_value(c);
+  for (const Atom& atom : query.atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_constant()) add_value(t.constant());
+    }
+  }
+
+  // Retrieved facts accumulate in a scratch instance over the same schema.
+  Instance retrieved(&schema);
+
+  for (int round = 0; round < options.rounds; ++round) {
+    ++result.rounds_run;
+    bool changed = false;
+    // Snapshot: accesses this round use the values known at round start.
+    std::vector<Value> snapshot = values;
+    for (AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+      const AccessMethod& method = schema.access_method(m);
+      const int width = static_cast<int>(method.input_positions.size());
+      bool within_budget = ForEachTuple(snapshot, width, [&](const Tuple& in) {
+        if (result.source_calls >= options.max_source_calls) return false;
+        ++result.source_calls;
+        for (const Tuple& tuple : source.Access(m, in)) {
+          if (retrieved.AddFact(method.relation, tuple)) {
+            ++result.facts_retrieved;
+            changed = true;
+          }
+          for (const Value& v : tuple) {
+            if (value_set.find(v) == value_set.end()) {
+              add_value(v);
+              changed = true;
+            }
+          }
+        }
+        return true;
+      });
+      if (!within_budget) {
+        return ResourceExhaustedError(
+            StrCat("saturation exceeded ", options.max_source_calls,
+                   " source calls in round ", round + 1,
+                   " (the exponential blow-up of P_k)"));
+      }
+    }
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.answers = EvaluateQuery(query, retrieved);
+  return result;
+}
+
+}  // namespace lcp

@@ -1,0 +1,47 @@
+#ifndef LCP_BASELINE_SATURATION_H_
+#define LCP_BASELINE_SATURATION_H_
+
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/data/instance.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/runtime/source.h"
+
+namespace lcp {
+
+/// Result of running the saturation baseline.
+struct SaturationResult {
+  /// Answer tuples of the query evaluated over the retrieved facts.
+  std::vector<Tuple> answers;
+  size_t source_calls = 0;
+  size_t facts_retrieved = 0;
+  int rounds_run = 0;
+  /// True if the last round added no new facts or values (the k-accessible
+  /// part has converged).
+  bool converged = false;
+};
+
+struct SaturationOptions {
+  /// Number of rounds k (the P_k plan of §3): each round feeds every
+  /// combination of currently accessible values into every method.
+  int rounds = 2;
+  /// Abort with RESOURCE_EXHAUSTED beyond this many source calls — the
+  /// combinatorial blow-up is precisely the infeasibility the paper notes
+  /// for this approach.
+  size_t max_source_calls = 10000000;
+};
+
+/// The non-constructive baseline from §3's "alternative proofs" discussion:
+/// compute the k-truncation of the accessible part by making *every
+/// possible access* with all values produced so far, then evaluate the
+/// query over the retrieved facts in the middleware. Complete for large
+/// enough k whenever a plan exists, but makes exponentially many accesses —
+/// the paper's argument for preferring proof-derived plans.
+Result<SaturationResult> RunSaturation(const ConjunctiveQuery& query,
+                                       SimulatedSource& source,
+                                       const SaturationOptions& options);
+
+}  // namespace lcp
+
+#endif  // LCP_BASELINE_SATURATION_H_

@@ -1,0 +1,41 @@
+#include "lcp/chase/config.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lcp {
+
+bool ChaseConfig::Add(const Fact& fact) {
+  if (!index_.insert(fact).second) return false;
+  by_relation_[fact.relation].push_back(static_cast<int>(facts_.size()));
+  facts_.push_back(fact);
+  return true;
+}
+
+const std::vector<int>& ChaseConfig::FactsOf(RelationId relation) const {
+  static const std::vector<int> kEmpty;
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kEmpty : it->second;
+}
+
+std::vector<ChaseTermId> ChaseConfig::TermsAt(RelationId relation,
+                                              int position) const {
+  std::vector<ChaseTermId> terms;
+  std::unordered_set<ChaseTermId> seen;
+  for (int idx : FactsOf(relation)) {
+    ChaseTermId t = facts_[idx].terms[position];
+    if (seen.insert(t).second) terms.push_back(t);
+  }
+  return terms;
+}
+
+std::string ChaseConfig::ToString(const Schema& schema,
+                                  const TermArena& arena) const {
+  std::ostringstream os;
+  for (const Fact& fact : facts_) {
+    os << "  " << FactToString(fact, schema, arena) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace lcp

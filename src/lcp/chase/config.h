@@ -1,0 +1,50 @@
+#ifndef LCP_CHASE_CONFIG_H_
+#define LCP_CHASE_CONFIG_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lcp/chase/fact.h"
+#include "lcp/chase/term_arena.h"
+#include "lcp/logic/ids.h"
+
+namespace lcp {
+
+/// A chase configuration (§4): a duplicate-free set of facts, with
+/// insertion order preserved (facts are a proof log) and a per-relation
+/// index for homomorphism search. Configurations are value types: search
+/// nodes copy them when branching.
+class ChaseConfig {
+ public:
+  ChaseConfig() = default;
+
+  /// Adds a fact; returns true if it was new.
+  bool Add(const Fact& fact);
+  bool Contains(const Fact& fact) const {
+    return index_.find(fact) != index_.end();
+  }
+
+  size_t size() const { return facts_.size(); }
+  const std::vector<Fact>& facts() const { return facts_; }
+
+  /// Indexes into facts() of the facts over `relation`.
+  const std::vector<int>& FactsOf(RelationId relation) const;
+
+  /// All distinct terms occurring in facts over `relation` at `position`.
+  /// (No index is kept; linear in the relation's facts.)
+  std::vector<ChaseTermId> TermsAt(RelationId relation, int position) const;
+
+  /// Multi-line dump for debugging/exploration logs.
+  std::string ToString(const Schema& schema, const TermArena& arena) const;
+
+ private:
+  std::vector<Fact> facts_;
+  std::unordered_set<Fact, FactHash> index_;
+  std::unordered_map<RelationId, std::vector<int>> by_relation_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CHASE_CONFIG_H_

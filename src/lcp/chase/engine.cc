@@ -1,0 +1,217 @@
+#include "lcp/chase/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+CompiledTgd CompileTgd(const Tgd& tgd, TermArena& arena) {
+  CompiledTgd compiled;
+  compiled.source = &tgd;
+  compiled.body = CompileAtoms(tgd.body, compiled.vars, arena);
+  const int body_vars = compiled.vars.size();
+  compiled.head = CompileAtoms(tgd.head, compiled.vars, arena);
+  compiled.in_body.assign(compiled.vars.size(), false);
+  for (int i = 0; i < body_vars; ++i) compiled.in_body[i] = true;
+  for (int i = 0; i < compiled.vars.size(); ++i) {
+    if (compiled.in_body[i]) {
+      // Frontier = body variables that also occur in the head.
+      bool in_head = false;
+      for (const PatternAtom& atom : compiled.head) {
+        for (const auto& slot : atom.slots) {
+          if (slot.is_variable && slot.var_index == i) in_head = true;
+        }
+      }
+      if (in_head) compiled.frontier_vars.push_back(i);
+    } else {
+      compiled.existential_vars.push_back(i);
+    }
+  }
+  return compiled;
+}
+
+ChaseEngine::ChaseEngine(const Schema* schema, TermArena* arena)
+    : schema_(schema), arena_(arena) {
+  LCP_CHECK(schema != nullptr && arena != nullptr);
+}
+
+namespace {
+
+/// Canonical signature of a trigger's "guarded bag" (§5 blocking): the TGD
+/// plus the isomorphism type of all configuration facts whose terms all lie
+/// in the trigger's frontier image (constants kept concrete, nulls renamed
+/// by first occurrence).
+std::string BagSignature(const CompiledTgd& tgd,
+                         const std::vector<ChaseTermId>& assignment,
+                         const ChaseConfig& config) {
+  std::vector<ChaseTermId> frontier_terms;
+  for (int v : tgd.frontier_vars) frontier_terms.push_back(assignment[v]);
+  std::sort(frontier_terms.begin(), frontier_terms.end());
+  frontier_terms.erase(
+      std::unique(frontier_terms.begin(), frontier_terms.end()),
+      frontier_terms.end());
+
+  auto in_bag = [&](ChaseTermId t) {
+    return TermArena::IsConstant(t) ||
+           std::binary_search(frontier_terms.begin(), frontier_terms.end(), t);
+  };
+  std::unordered_map<ChaseTermId, int> canon;
+  std::vector<std::string> fact_sigs;
+  for (const Fact& fact : config.facts()) {
+    bool local = true;
+    for (ChaseTermId t : fact.terms) {
+      if (!in_bag(t)) {
+        local = false;
+        break;
+      }
+    }
+    if (!local) continue;
+    std::ostringstream os;
+    os << fact.relation << ":";
+    for (ChaseTermId t : fact.terms) {
+      if (TermArena::IsConstant(t)) {
+        os << "c" << t << ",";
+      } else {
+        auto [it, inserted] = canon.emplace(t, static_cast<int>(canon.size()));
+        os << "n" << it->second << ",";
+      }
+    }
+    fact_sigs.push_back(os.str());
+  }
+  std::sort(fact_sigs.begin(), fact_sigs.end());
+  return StrCat(tgd.source->name, "|", StrJoin(fact_sigs, ";"));
+}
+
+struct Trigger {
+  int tgd_index;
+  std::vector<ChaseTermId> assignment;
+};
+
+}  // namespace
+
+Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
+                                    const ChaseOptions& options,
+                                    ChaseConfig& config) {
+  ChaseStats stats;
+  std::unordered_set<std::string> fired_bags;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    ++stats.rounds;
+    for (size_t t = 0; t < tgds.size(); ++t) {
+      const CompiledTgd& tgd = tgds[t];
+      // Collect the current triggers first: firing mutates the config, which
+      // would invalidate the enumeration.
+      std::vector<Trigger> triggers;
+      std::vector<ChaseTermId> assignment(tgd.vars.size(), kUnboundTerm);
+      EnumerateHomomorphisms(
+          tgd.body, config, assignment,
+          [&](const std::vector<ChaseTermId>& full) {
+            // Restricted chase: skip if the head already has a witness.
+            std::vector<ChaseTermId> head_assignment(full);
+            for (int v : tgd.existential_vars) {
+              head_assignment[v] = kUnboundTerm;
+            }
+            if (!HasHomomorphism(tgd.head, config, head_assignment)) {
+              triggers.push_back(
+                  Trigger{static_cast<int>(t), full});
+            }
+            return true;
+          });
+      for (Trigger& trigger : triggers) {
+        // Re-check: an earlier firing in this round may have satisfied it.
+        std::vector<ChaseTermId> head_assignment(trigger.assignment);
+        for (int v : tgd.existential_vars) head_assignment[v] = kUnboundTerm;
+        if (HasHomomorphism(tgd.head, config, head_assignment)) continue;
+
+        // Depth accounting: new nulls live one level below the deepest
+        // frontier term.
+        int frontier_depth = 0;
+        bool all_frontier_deep_nulls = !tgd.frontier_vars.empty();
+        for (int v : tgd.frontier_vars) {
+          ChaseTermId term = trigger.assignment[v];
+          frontier_depth = std::max(frontier_depth, arena_->DepthOf(term));
+          if (!TermArena::IsNull(term) || arena_->DepthOf(term) == 0) {
+            all_frontier_deep_nulls = false;
+          }
+        }
+        if (!tgd.existential_vars.empty() && options.max_null_depth >= 0 &&
+            frontier_depth + 1 > options.max_null_depth) {
+          ++stats.depth_capped_triggers;
+          continue;
+        }
+        if (options.use_guarded_blocking && all_frontier_deep_nulls &&
+            !tgd.existential_vars.empty()) {
+          std::string sig = BagSignature(tgd, trigger.assignment, config);
+          if (!fired_bags.insert(sig).second) {
+            ++stats.blocked_triggers;
+            continue;
+          }
+        }
+
+        if (stats.firings >= options.max_firings) {
+          if (options.fail_on_firing_cap) {
+            return ResourceExhaustedError(
+                StrCat("chase exceeded ", options.max_firings, " firings"));
+          }
+          stats.reached_fixpoint = false;
+          return stats;
+        }
+
+        // Fire: invent nulls for the existential variables, add head facts.
+        for (int v : tgd.existential_vars) {
+          trigger.assignment[v] =
+              arena_->NewNull(tgd.vars.name(v), frontier_depth + 1);
+        }
+        ++stats.firings;
+        for (const PatternAtom& atom : tgd.head) {
+          Fact fact;
+          fact.relation = atom.relation;
+          fact.terms.reserve(atom.slots.size());
+          for (const auto& slot : atom.slots) {
+            fact.terms.push_back(slot.is_variable
+                                     ? trigger.assignment[slot.var_index]
+                                     : slot.term);
+          }
+          if (config.Add(fact)) ++stats.facts_added;
+        }
+        progress = true;
+      }
+    }
+  }
+  stats.reached_fixpoint = true;
+  return stats;
+}
+
+Result<ChaseStats> ChaseEngine::Run(const std::vector<Tgd>& tgds,
+                                    const ChaseOptions& options,
+                                    ChaseConfig& config) {
+  std::vector<CompiledTgd> compiled;
+  compiled.reserve(tgds.size());
+  for (const Tgd& tgd : tgds) compiled.push_back(CompileTgd(tgd, *arena_));
+  return Run(compiled, options, config);
+}
+
+CanonicalDatabase BuildCanonicalDatabase(const ConjunctiveQuery& query,
+                                         TermArena& arena) {
+  CanonicalDatabase canonical;
+  for (const std::string& var : query.AllVariables()) {
+    canonical.var_to_term.emplace(var, arena.NewNull(var, 0));
+  }
+  for (const Atom& atom : query.atoms) {
+    Fact fact;
+    fact.relation = atom.relation;
+    fact.terms.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      fact.terms.push_back(term.is_variable()
+                               ? canonical.var_to_term.at(term.var())
+                               : arena.InternConstant(term.constant()));
+    }
+    canonical.config.Add(fact);
+  }
+  return canonical;
+}
+
+}  // namespace lcp

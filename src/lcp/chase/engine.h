@@ -1,0 +1,99 @@
+#ifndef LCP_CHASE_ENGINE_H_
+#define LCP_CHASE_ENGINE_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/chase/config.h"
+#include "lcp/chase/matcher.h"
+#include "lcp/chase/term_arena.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/tgd.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// Controls chase termination. The restricted chase is used throughout: a
+/// trigger fires only if its head has no witness in the configuration (§4,
+/// "candidate match").
+struct ChaseOptions {
+  /// Hard cap on rule firings across the whole run.
+  int max_firings = 1000000;
+  /// Maximum generation depth for invented nulls; triggers that would exceed
+  /// it are skipped. -1 means unlimited.
+  int max_null_depth = -1;
+  /// Enables the local blocking condition for guarded TGDs (§5): a trigger
+  /// all of whose frontier terms are invented nulls is skipped if an
+  /// isomorphic "guarded bag" (same TGD, same canonical locale of facts over
+  /// the frontier terms) was fired before. Sound (never adds wrong facts);
+  /// may lose completeness in corner cases — see DESIGN.md.
+  bool use_guarded_blocking = false;
+  /// If true, hitting max_firings is an error instead of a silent stop.
+  bool fail_on_firing_cap = true;
+};
+
+struct ChaseStats {
+  int firings = 0;
+  int facts_added = 0;
+  int rounds = 0;
+  bool reached_fixpoint = false;
+  int blocked_triggers = 0;
+  int depth_capped_triggers = 0;
+};
+
+/// A TGD compiled against a shared arena for fast re-firing.
+struct CompiledTgd {
+  const Tgd* source = nullptr;
+  VariableTable vars;
+  std::vector<PatternAtom> body;
+  std::vector<PatternAtom> head;
+  /// Variable indexes occurring in the body.
+  std::vector<bool> in_body;
+  /// Variable indexes occurring in the head but not the body.
+  std::vector<int> existential_vars;
+  /// Variable indexes shared between body and head.
+  std::vector<int> frontier_vars;
+};
+
+CompiledTgd CompileTgd(const Tgd& tgd, TermArena& arena);
+
+/// Forward-chaining proof engine (the chase, §4). The engine is stateless
+/// across runs apart from the shared arena; blocking signatures are scoped
+/// to a single Run call.
+class ChaseEngine {
+ public:
+  ChaseEngine(const Schema* schema, TermArena* arena);
+
+  /// Fires `tgds` on `config` (restricted chase, round-robin) until fixpoint
+  /// or a cap triggers.
+  Result<ChaseStats> Run(const std::vector<CompiledTgd>& tgds,
+                         const ChaseOptions& options, ChaseConfig& config);
+
+  /// Convenience: compiles and runs raw TGDs.
+  Result<ChaseStats> Run(const std::vector<Tgd>& tgds,
+                         const ChaseOptions& options, ChaseConfig& config);
+
+  const Schema& schema() const { return *schema_; }
+  TermArena& arena() { return *arena_; }
+
+ private:
+  const Schema* schema_;
+  TermArena* arena_;
+};
+
+/// The canonical database of a conjunctive query (§4): one labeled null per
+/// variable, one fact per atom.
+struct CanonicalDatabase {
+  ChaseConfig config;
+  std::unordered_map<std::string, ChaseTermId> var_to_term;
+};
+
+CanonicalDatabase BuildCanonicalDatabase(const ConjunctiveQuery& query,
+                                         TermArena& arena);
+
+}  // namespace lcp
+
+#endif  // LCP_CHASE_ENGINE_H_

@@ -1,0 +1,135 @@
+#include "lcp/chase/matcher.h"
+
+#include <algorithm>
+
+namespace lcp {
+
+int VariableTable::IndexOf(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  int idx = static_cast<int>(names_.size());
+  names_.push_back(name);
+  index_.emplace(name, idx);
+  return idx;
+}
+
+std::vector<PatternAtom> CompileAtoms(const std::vector<Atom>& atoms,
+                                      VariableTable& vars, TermArena& arena) {
+  std::vector<PatternAtom> compiled;
+  compiled.reserve(atoms.size());
+  for (const Atom& atom : atoms) {
+    PatternAtom pattern;
+    pattern.relation = atom.relation;
+    pattern.slots.reserve(atom.terms.size());
+    for (const Term& term : atom.terms) {
+      PatternAtom::Slot slot;
+      if (term.is_variable()) {
+        slot.is_variable = true;
+        slot.var_index = vars.IndexOf(term.var());
+      } else {
+        slot.is_variable = false;
+        slot.term = arena.InternConstant(term.constant());
+      }
+      pattern.slots.push_back(slot);
+    }
+    compiled.push_back(std::move(pattern));
+  }
+  return compiled;
+}
+
+namespace {
+
+/// Counts bound slots of `atom` under `assignment` (constants count).
+int BoundSlots(const PatternAtom& atom,
+               const std::vector<ChaseTermId>& assignment) {
+  int bound = 0;
+  for (const auto& slot : atom.slots) {
+    if (!slot.is_variable || assignment[slot.var_index] != kUnboundTerm) {
+      ++bound;
+    }
+  }
+  return bound;
+}
+
+bool MatchRecursive(
+    const std::vector<PatternAtom>& atoms, std::vector<bool>& done,
+    size_t remaining, const ChaseConfig& config,
+    std::vector<ChaseTermId>& assignment,
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match) {
+  if (remaining == 0) {
+    return on_match(assignment);
+  }
+  // Pick the pending atom with the most bound slots; break ties toward the
+  // smaller relation extension.
+  int best = -1;
+  int best_bound = -1;
+  size_t best_extension = 0;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (done[i]) continue;
+    int bound = BoundSlots(atoms[i], assignment);
+    size_t extension = config.FactsOf(atoms[i].relation).size();
+    if (bound > best_bound ||
+        (bound == best_bound && extension < best_extension)) {
+      best = static_cast<int>(i);
+      best_bound = bound;
+      best_extension = extension;
+    }
+  }
+  const PatternAtom& atom = atoms[best];
+  done[best] = true;
+  bool keep_going = true;
+  for (int fact_idx : config.FactsOf(atom.relation)) {
+    const Fact& fact = config.facts()[fact_idx];
+    // Try to unify `fact` with `atom` under the current assignment.
+    std::vector<int> newly_bound;
+    bool consistent = true;
+    for (size_t s = 0; s < atom.slots.size() && consistent; ++s) {
+      const auto& slot = atom.slots[s];
+      ChaseTermId fact_term = fact.terms[s];
+      if (!slot.is_variable) {
+        consistent = (slot.term == fact_term);
+      } else if (assignment[slot.var_index] != kUnboundTerm) {
+        consistent = (assignment[slot.var_index] == fact_term);
+      } else {
+        assignment[slot.var_index] = fact_term;
+        newly_bound.push_back(slot.var_index);
+      }
+    }
+    if (consistent) {
+      keep_going = MatchRecursive(atoms, done, remaining - 1, config,
+                                  assignment, on_match);
+    }
+    for (int v : newly_bound) assignment[v] = kUnboundTerm;
+    if (!keep_going) break;
+  }
+  done[best] = false;
+  return keep_going;
+}
+
+}  // namespace
+
+void EnumerateHomomorphisms(
+    const std::vector<PatternAtom>& atoms, const ChaseConfig& config,
+    std::vector<ChaseTermId>& assignment,
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match) {
+  if (atoms.empty()) {
+    on_match(assignment);
+    return;
+  }
+  std::vector<bool> done(atoms.size(), false);
+  MatchRecursive(atoms, done, atoms.size(), config, assignment, on_match);
+}
+
+bool HasHomomorphism(const std::vector<PatternAtom>& atoms,
+                     const ChaseConfig& config,
+                     std::vector<ChaseTermId> assignment) {
+  bool found = false;
+  EnumerateHomomorphisms(atoms, config, assignment,
+                         [&](const std::vector<ChaseTermId>&) {
+                           found = true;
+                           return false;
+                         });
+  return found;
+}
+
+}  // namespace lcp

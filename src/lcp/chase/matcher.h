@@ -1,0 +1,67 @@
+#ifndef LCP_CHASE_MATCHER_H_
+#define LCP_CHASE_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lcp/chase/config.h"
+#include "lcp/chase/term_arena.h"
+#include "lcp/logic/atom.h"
+
+namespace lcp {
+
+/// A compiled atom: each argument slot is either a variable index into a
+/// shared assignment vector, or a fixed chase term (an interned constant).
+struct PatternAtom {
+  RelationId relation = kInvalidRelation;
+  /// slot >= 0: variable index; slot < 0: fixed term, stored separately.
+  struct Slot {
+    bool is_variable = false;
+    int var_index = -1;
+    ChaseTermId term = kUnboundTerm;
+  };
+  std::vector<Slot> slots;
+};
+
+/// Maps variable names to dense indices shared across a set of compiled
+/// patterns (e.g. the body and head of one TGD).
+class VariableTable {
+ public:
+  /// Returns the index of `name`, creating it if new.
+  int IndexOf(const std::string& name);
+  int size() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int index) const { return names_[index]; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// Compiles `atoms` against `vars` (extending it) and `arena` (interning
+/// constants).
+std::vector<PatternAtom> CompileAtoms(const std::vector<Atom>& atoms,
+                                      VariableTable& vars, TermArena& arena);
+
+/// Enumerates homomorphisms of `atoms` into `config`, extending the partial
+/// `assignment` (kUnboundTerm marks free slots). Invokes `on_match` with the
+/// full assignment for each; returning false stops enumeration. The
+/// assignment vector is restored to its input state afterwards.
+///
+/// Atom order is chosen greedily at each step (most-bound atom first), which
+/// keeps the backtracking join cheap on the star/chain shapes that dominate
+/// chase workloads.
+void EnumerateHomomorphisms(
+    const std::vector<PatternAtom>& atoms, const ChaseConfig& config,
+    std::vector<ChaseTermId>& assignment,
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match);
+
+/// Convenience: true if at least one homomorphism extends `assignment`.
+bool HasHomomorphism(const std::vector<PatternAtom>& atoms,
+                     const ChaseConfig& config,
+                     std::vector<ChaseTermId> assignment);
+
+}  // namespace lcp
+
+#endif  // LCP_CHASE_MATCHER_H_

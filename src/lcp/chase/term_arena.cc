@@ -1,0 +1,29 @@
+#include "lcp/chase/term_arena.h"
+
+#include <utility>
+
+namespace lcp {
+
+ChaseTermId TermArena::InternConstant(const Value& value) {
+  auto it = constant_ids_.find(value);
+  if (it != constant_ids_.end()) return it->second;
+  ChaseTermId id = static_cast<ChaseTermId>(-1 - constants_.size());
+  constants_.push_back(value);
+  constant_ids_.emplace(value, id);
+  return id;
+}
+
+ChaseTermId TermArena::NewNull(const std::string& base_name, int depth) {
+  ChaseTermId id = static_cast<ChaseTermId>(null_names_.size());
+  null_names_.push_back(base_name + "_" + std::to_string(id));
+  null_depths_.push_back(depth);
+  return id;
+}
+
+std::string TermArena::DisplayName(ChaseTermId id) const {
+  if (IsConstant(id)) return ConstantOf(id).ToString();
+  LCP_CHECK(IsNull(id) && static_cast<size_t>(id) < null_names_.size());
+  return null_names_[static_cast<size_t>(id)];
+}
+
+}  // namespace lcp

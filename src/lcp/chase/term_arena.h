@@ -1,0 +1,73 @@
+#ifndef LCP_CHASE_TERM_ARENA_H_
+#define LCP_CHASE_TERM_ARENA_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lcp/base/check.h"
+#include "lcp/logic/value.h"
+
+namespace lcp {
+
+/// A term occurring in a chase configuration: either a labeled null ("chase
+/// constant" in the paper) or an interned schema/data constant.
+/// Encoding: ids >= 0 are labeled nulls, ids < 0 are constants (-1 - k
+/// indexes the k-th interned constant).
+using ChaseTermId = int32_t;
+
+/// Sentinel for "not yet bound" in homomorphism search. Never a valid term.
+inline constexpr ChaseTermId kUnboundTerm =
+    std::numeric_limits<ChaseTermId>::min();
+
+/// Owns the labeled nulls and interned constants used by chase
+/// configurations. One arena is shared by all configurations of a proof
+/// search, so term ids are stable across the search tree.
+class TermArena {
+ public:
+  TermArena() = default;
+  TermArena(const TermArena&) = delete;
+  TermArena& operator=(const TermArena&) = delete;
+
+  static bool IsNull(ChaseTermId id) { return id >= 0; }
+  static bool IsConstant(ChaseTermId id) {
+    return id < 0 && id != kUnboundTerm;
+  }
+
+  /// Interns a constant value (idempotent).
+  ChaseTermId InternConstant(const Value& value);
+
+  /// Creates a fresh labeled null. Its display name is `base_name` with the
+  /// null id appended (globally unique; display names double as plan table
+  /// attributes). `depth` is its chase-generation depth (0 for
+  /// canonical-database nulls).
+  ChaseTermId NewNull(const std::string& base_name, int depth);
+
+  const Value& ConstantOf(ChaseTermId id) const {
+    LCP_CHECK(IsConstant(id));
+    return constants_[static_cast<size_t>(-1 - id)];
+  }
+
+  int DepthOf(ChaseTermId id) const {
+    if (IsConstant(id)) return 0;
+    return null_depths_[static_cast<size_t>(id)];
+  }
+
+  /// Printable name: nulls render as their display name, constants as their
+  /// value.
+  std::string DisplayName(ChaseTermId id) const;
+
+  size_t num_nulls() const { return null_names_.size(); }
+
+ private:
+  std::vector<std::string> null_names_;
+  std::vector<int> null_depths_;
+  std::vector<Value> constants_;
+  std::unordered_map<Value, ChaseTermId, ValueHash> constant_ids_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CHASE_TERM_ARENA_H_

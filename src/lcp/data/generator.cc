@@ -1,0 +1,109 @@
+#include "lcp/data/generator.h"
+
+#include <random>
+#include <string>
+#include <unordered_map>
+
+#include "lcp/base/strings.h"
+#include "lcp/data/query_eval.h"
+
+namespace lcp {
+
+namespace {
+
+/// Monotonically growing supply of invented values, disjoint from the
+/// generator's base domain.
+class ValueInventor {
+ public:
+  explicit ValueInventor(int64_t start) : next_(start) {}
+  Value Fresh() { return Value::Int(next_++); }
+
+ private:
+  int64_t next_;
+};
+
+/// One repair pass: fires every currently-violated trigger once. Returns the
+/// number of facts added (0 means the instance satisfies all constraints).
+int RepairPass(Instance& instance, ValueInventor& inventor, int budget) {
+  int added = 0;
+  for (const Tgd& tgd : instance.schema().constraints()) {
+    // Collect violating frontier bindings first: mutating the instance while
+    // FindMatches iterates would invalidate the scan.
+    std::vector<Binding> violations;
+    FindMatches(tgd.body, instance, Binding{}, [&](const Binding& binding) {
+      Binding frontier;
+      for (const std::string& v : tgd.FrontierVariables()) {
+        frontier.emplace(v, binding.at(v));
+      }
+      bool satisfied = false;
+      FindMatches(tgd.head, instance, frontier, [&](const Binding&) {
+        satisfied = true;
+        return false;
+      });
+      if (!satisfied) violations.push_back(std::move(frontier));
+      return true;
+    });
+    for (Binding& frontier : violations) {
+      if (added >= budget) return added;
+      // Re-check: an earlier firing in this pass may have satisfied it.
+      bool satisfied = false;
+      FindMatches(tgd.head, instance, frontier, [&](const Binding&) {
+        satisfied = true;
+        return false;
+      });
+      if (satisfied) continue;
+      for (const std::string& v : tgd.ExistentialVariables()) {
+        frontier.emplace(v, inventor.Fresh());
+      }
+      for (const Atom& atom : tgd.head) {
+        Tuple tuple;
+        tuple.reserve(atom.terms.size());
+        for (const Term& t : atom.terms) {
+          tuple.push_back(t.is_constant() ? t.constant()
+                                          : frontier.at(t.var()));
+        }
+        if (instance.AddFact(atom.relation, std::move(tuple))) ++added;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace
+
+Status RepairInstance(Instance& instance, int max_new_facts) {
+  ValueInventor inventor(1000000000);  // Disjoint from typical test domains.
+  int total_added = 0;
+  while (true) {
+    int added = RepairPass(instance, inventor, max_new_facts - total_added);
+    total_added += added;
+    if (added == 0) return Status::Ok();
+    if (total_added >= max_new_facts) {
+      return ResourceExhaustedError(
+          StrCat("instance repair exceeded ", max_new_facts,
+                 " invented facts (non-terminating TGD set?)"));
+    }
+  }
+}
+
+Result<Instance> GenerateInstance(const Schema& schema,
+                                  const GeneratorOptions& options) {
+  Instance instance(&schema);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int64_t> pick(0, options.domain_size - 1);
+  for (RelationId rel = 0; rel < schema.num_relations(); ++rel) {
+    const int arity = schema.relation(rel).arity;
+    for (int i = 0; i < options.facts_per_relation; ++i) {
+      Tuple tuple;
+      tuple.reserve(arity);
+      for (int j = 0; j < arity; ++j) tuple.push_back(Value::Int(pick(rng)));
+      instance.AddFact(rel, std::move(tuple));
+    }
+  }
+  if (options.repair) {
+    LCP_RETURN_IF_ERROR(RepairInstance(instance, options.max_repair_facts));
+  }
+  return instance;
+}
+
+}  // namespace lcp

@@ -1,0 +1,40 @@
+#ifndef LCP_DATA_GENERATOR_H_
+#define LCP_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "lcp/base/result.h"
+#include "lcp/data/instance.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// Options for random instance generation.
+struct GeneratorOptions {
+  /// Facts drawn uniformly per relation before repair.
+  int facts_per_relation = 10;
+  /// Values are integers in [0, domain_size); repair may invent larger ones.
+  int domain_size = 20;
+  uint64_t seed = 42;
+  /// If true, chase the instance with the schema's TGDs (inventing fresh
+  /// values for existentials) until all constraints hold.
+  bool repair = true;
+  /// Abort repair after this many invented facts (guards non-terminating
+  /// TGD sets).
+  int max_repair_facts = 100000;
+};
+
+/// Generates a random instance of `schema`, optionally repaired to satisfy
+/// its TGD constraints by value-level chasing (fresh values play the role of
+/// labeled nulls). Fails with RESOURCE_EXHAUSTED if repair exceeds the cap.
+Result<Instance> GenerateInstance(const Schema& schema,
+                                  const GeneratorOptions& options);
+
+/// Repairs an existing instance in place (the value-level chase described
+/// above). Fails with RESOURCE_EXHAUSTED if the cap is exceeded, in which
+/// case the instance is left partially repaired.
+Status RepairInstance(Instance& instance, int max_new_facts);
+
+}  // namespace lcp
+
+#endif  // LCP_DATA_GENERATOR_H_

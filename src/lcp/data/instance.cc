@@ -1,0 +1,48 @@
+#include "lcp/data/instance.h"
+
+#include <utility>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+bool RelationInstance::Insert(Tuple tuple) {
+  LCP_CHECK_EQ(static_cast<int>(tuple.size()), arity_)
+      << "tuple arity mismatch";
+  if (!dedup_.insert(tuple).second) return false;
+  tuples_.push_back(std::move(tuple));
+  return true;
+}
+
+Instance::Instance(const Schema* schema) : schema_(schema) {
+  LCP_CHECK(schema != nullptr);
+  relations_.reserve(schema->num_relations());
+  for (RelationId id = 0; id < schema->num_relations(); ++id) {
+    relations_.emplace_back(schema->relation(id).arity);
+  }
+}
+
+bool Instance::AddFact(RelationId rel, Tuple tuple) {
+  return relation(rel).Insert(std::move(tuple));
+}
+
+Status Instance::AddFact(const std::string& relation_name,
+                         std::initializer_list<Value> values) {
+  LCP_ASSIGN_OR_RETURN(RelationId rel, schema_->RelationByName(relation_name));
+  Tuple tuple(values);
+  if (static_cast<int>(tuple.size()) != schema_->relation(rel).arity) {
+    return InvalidArgumentError(StrCat("fact over ", relation_name, " has ",
+                                       tuple.size(), " values, expected ",
+                                       schema_->relation(rel).arity));
+  }
+  AddFact(rel, std::move(tuple));
+  return Status::Ok();
+}
+
+size_t Instance::TotalFacts() const {
+  size_t total = 0;
+  for (const RelationInstance& rel : relations_) total += rel.size();
+  return total;
+}
+
+}  // namespace lcp

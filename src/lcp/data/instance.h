@@ -1,0 +1,89 @@
+#ifndef LCP_DATA_INSTANCE_H_
+#define LCP_DATA_INSTANCE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <unordered_set>
+#include <vector>
+
+#include "lcp/base/check.h"
+#include "lcp/base/status.h"
+#include "lcp/logic/ids.h"
+#include "lcp/logic/value.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// A database tuple.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x811c9dc5;
+    for (const Value& v : t) {
+      h ^= v.Hash();
+      h *= 0x01000193;
+    }
+    return h;
+  }
+};
+
+/// The extension of one relation: a duplicate-free bag of tuples with
+/// insertion order preserved (useful for deterministic tests).
+class RelationInstance {
+ public:
+  explicit RelationInstance(int arity = 0) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts `tuple`; returns false if it was already present.
+  bool Insert(Tuple tuple);
+  bool Contains(const Tuple& tuple) const {
+    return dedup_.find(tuple) != dedup_.end();
+  }
+
+ private:
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+};
+
+/// A database instance for a Schema: one RelationInstance per relation.
+/// The instance does not enforce the schema's integrity constraints; use
+/// `SatisfiesConstraints` (query_eval.h) or the generator's repair mode.
+class Instance {
+ public:
+  explicit Instance(const Schema* schema);
+
+  const Schema& schema() const { return *schema_; }
+
+  RelationInstance& relation(RelationId id) {
+    LCP_CHECK(id >= 0 && id < static_cast<RelationId>(relations_.size()));
+    return relations_[id];
+  }
+  const RelationInstance& relation(RelationId id) const {
+    LCP_CHECK(id >= 0 && id < static_cast<RelationId>(relations_.size()));
+    return relations_[id];
+  }
+
+  /// Inserts a fact; returns false if already present. CHECK-fails on arity
+  /// mismatch.
+  bool AddFact(RelationId rel, Tuple tuple);
+  /// Convenience for literals: AddFact("Profinfo", {Value::Str("smith"), ...}).
+  Status AddFact(const std::string& relation_name,
+                 std::initializer_list<Value> values);
+
+  /// Total number of facts across all relations.
+  size_t TotalFacts() const;
+
+ private:
+  const Schema* schema_;
+  std::vector<RelationInstance> relations_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_DATA_INSTANCE_H_

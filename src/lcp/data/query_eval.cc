@@ -1,0 +1,119 @@
+#include "lcp/data/query_eval.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lcp {
+
+namespace {
+
+/// Recursive backtracking join over the atoms, in the given order. A more
+/// sophisticated evaluator would pick a join order; for the oracle role
+/// (ground truth in tests/benchmarks on moderate instances) left-to-right
+/// with early binding propagation is sufficient.
+bool MatchFrom(const std::vector<Atom>& atoms, size_t index,
+               const Instance& instance, Binding& binding,
+               const std::function<bool(const Binding&)>& on_match) {
+  if (index == atoms.size()) {
+    return on_match(binding);
+  }
+  const Atom& atom = atoms[index];
+  const RelationInstance& rel = instance.relation(atom.relation);
+  for (const Tuple& tuple : rel.tuples()) {
+    // Check consistency of `tuple` against the atom under `binding`.
+    std::vector<std::string> newly_bound;
+    bool consistent = true;
+    for (size_t i = 0; i < atom.terms.size() && consistent; ++i) {
+      const Term& term = atom.terms[i];
+      if (term.is_constant()) {
+        consistent = (term.constant() == tuple[i]);
+        continue;
+      }
+      auto it = binding.find(term.var());
+      if (it != binding.end()) {
+        consistent = (it->second == tuple[i]);
+      } else {
+        binding.emplace(term.var(), tuple[i]);
+        newly_bound.push_back(term.var());
+      }
+    }
+    bool keep_going = true;
+    if (consistent) {
+      keep_going = MatchFrom(atoms, index + 1, instance, binding, on_match);
+    }
+    for (const std::string& v : newly_bound) binding.erase(v);
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FindMatches(const std::vector<Atom>& atoms, const Instance& instance,
+                 const Binding& partial,
+                 const std::function<bool(const Binding&)>& on_match) {
+  Binding binding = partial;
+  MatchFrom(atoms, 0, instance, binding, on_match);
+}
+
+std::vector<Tuple> EvaluateQuery(const ConjunctiveQuery& query,
+                                 const Instance& instance) {
+  std::vector<Tuple> answers;
+  std::unordered_set<Tuple, TupleHash> seen;
+  FindMatches(query.atoms, instance, Binding{},
+              [&](const Binding& binding) {
+                Tuple answer;
+                answer.reserve(query.free_variables.size());
+                for (const std::string& v : query.free_variables) {
+                  answer.push_back(binding.at(v));
+                }
+                if (seen.insert(answer).second) {
+                  answers.push_back(std::move(answer));
+                }
+                return true;
+              });
+  return answers;
+}
+
+namespace {
+
+/// True if the TGD head has a witness extending `frontier_binding`.
+bool HeadSatisfied(const Tgd& tgd, const Instance& instance,
+                   const Binding& frontier_binding) {
+  bool found = false;
+  FindMatches(tgd.head, instance, frontier_binding, [&](const Binding&) {
+    found = true;
+    return false;  // Stop at the first witness.
+  });
+  return found;
+}
+
+}  // namespace
+
+bool SatisfiesConstraints(const Instance& instance) {
+  return ViolatedConstraints(instance).empty();
+}
+
+std::vector<std::string> ViolatedConstraints(const Instance& instance) {
+  std::vector<std::string> violated;
+  for (const Tgd& tgd : instance.schema().constraints()) {
+    bool violation_found = false;
+    FindMatches(tgd.body, instance, Binding{}, [&](const Binding& binding) {
+      // Restrict to the frontier: head matching may not reuse bindings of
+      // body variables that do not occur in the head.
+      Binding frontier;
+      for (const std::string& v : tgd.FrontierVariables()) {
+        frontier.emplace(v, binding.at(v));
+      }
+      if (!HeadSatisfied(tgd, instance, frontier)) {
+        violation_found = true;
+        return false;
+      }
+      return true;
+    });
+    if (violation_found) violated.push_back(tgd.name);
+  }
+  return violated;
+}
+
+}  // namespace lcp

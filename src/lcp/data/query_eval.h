@@ -1,0 +1,40 @@
+#ifndef LCP_DATA_QUERY_EVAL_H_
+#define LCP_DATA_QUERY_EVAL_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lcp/data/instance.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/tgd.h"
+
+namespace lcp {
+
+/// A variable binding produced while matching a conjunction of atoms.
+using Binding = std::unordered_map<std::string, Value>;
+
+/// Enumerates all homomorphisms of `atoms` into `instance` extending
+/// `partial`; invokes `on_match` for each. If `on_match` returns false the
+/// enumeration stops early.
+void FindMatches(const std::vector<Atom>& atoms, const Instance& instance,
+                 const Binding& partial,
+                 const std::function<bool(const Binding&)>& on_match);
+
+/// Reference ("oracle") evaluator: Q(I) with full access to the instance,
+/// ignoring access restrictions. Returns the distinct answer tuples, in
+/// free-variable order. For a boolean query, returns either zero tuples or
+/// one empty tuple.
+std::vector<Tuple> EvaluateQuery(const ConjunctiveQuery& query,
+                                 const Instance& instance);
+
+/// True if `instance` satisfies every TGD constraint of its schema.
+bool SatisfiesConstraints(const Instance& instance);
+
+/// Lists the names of violated constraints (each at most once).
+std::vector<std::string> ViolatedConstraints(const Instance& instance);
+
+}  // namespace lcp
+
+#endif  // LCP_DATA_QUERY_EVAL_H_

@@ -1,0 +1,73 @@
+#include "lcp/interp/encode.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+/// Variables of `atom` not yet in `bound` (in order, deduplicated).
+std::vector<std::string> NewVariables(
+    const Atom& atom, const std::unordered_set<std::string>& bound) {
+  std::vector<std::string> fresh;
+  std::unordered_set<std::string> seen;
+  for (const Term& t : atom.terms) {
+    if (t.is_variable() && bound.count(t.var()) == 0 &&
+        seen.insert(t.var()).second) {
+      fresh.push_back(t.var());
+    }
+  }
+  return fresh;
+}
+
+/// Builds the nested guarded quantifier chain over `atoms` (∀ chain for
+/// bodies, ∃ chain for heads/queries) ending in `innermost`.
+FormulaPtr Chain(const std::vector<Atom>& atoms, size_t index, bool forall,
+                 std::unordered_set<std::string>& bound,
+                 const std::function<FormulaPtr()>& innermost) {
+  if (index == atoms.size()) return innermost();
+  const Atom& atom = atoms[index];
+  std::vector<std::string> fresh = NewVariables(atom, bound);
+  for (const std::string& v : fresh) bound.insert(v);
+  FormulaPtr rest = Chain(atoms, index + 1, forall, bound, innermost);
+  for (const std::string& v : fresh) bound.erase(v);
+  if (fresh.empty()) {
+    // No new variables: express as a plain implication/conjunction via the
+    // 0-ary quantifier forms, i.e. G → rest or G ∧ rest.
+    FormulaPtr guard = Formula::MakeAtom(atom);
+    return forall ? Formula::Or({Formula::Not(guard), rest})
+                  : Formula::And({guard, rest});
+  }
+  return forall ? Formula::Forall(fresh, atom, rest)
+                : Formula::Exists(fresh, atom, rest);
+}
+
+}  // namespace
+
+Result<FormulaPtr> TgdToFormula(const Tgd& tgd) {
+  LCP_RETURN_IF_ERROR(tgd.Validate());
+  std::unordered_set<std::string> bound;
+  FormulaPtr formula =
+      Chain(tgd.body, 0, /*forall=*/true, bound, [&]() -> FormulaPtr {
+        // Head: existential chain over the remaining atoms.
+        std::unordered_set<std::string> head_bound;
+        for (const std::string& v : CollectVariables(tgd.body)) {
+          head_bound.insert(v);
+        }
+        return Chain(tgd.head, 0, /*forall=*/false, head_bound,
+                     [] { return Formula::True(); });
+      });
+  return formula;
+}
+
+Result<FormulaPtr> QueryToSentence(const ConjunctiveQuery& query) {
+  LCP_RETURN_IF_ERROR(query.Validate());
+  std::unordered_set<std::string> bound;
+  return Chain(query.atoms, 0, /*forall=*/false, bound,
+               [] { return Formula::True(); });
+}
+
+}  // namespace lcp

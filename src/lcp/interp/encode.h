@@ -1,0 +1,24 @@
+#ifndef LCP_INTERP_ENCODE_H_
+#define LCP_INTERP_ENCODE_H_
+
+#include "lcp/base/result.h"
+#include "lcp/interp/formula.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/tgd.h"
+
+namespace lcp {
+
+/// Encodes a TGD as a relativized-quantifier sentence:
+///   ∀x⃗₁ (B₁ → ∀x⃗₂ (B₂ → ... ∃y⃗ (H₁ ∧ ... ) ...)),
+/// quantifying each variable at its first occurrence. Fails if some body
+/// atom introduces no new variables to guard (rare; reorder the body).
+Result<FormulaPtr> TgdToFormula(const Tgd& tgd);
+
+/// Encodes a CQ as an ∃-sentence with relativized quantifiers, one per atom
+/// in order (free variables of the query are also quantified — the result
+/// is the boolean version of the query).
+Result<FormulaPtr> QueryToSentence(const ConjunctiveQuery& query);
+
+}  // namespace lcp
+
+#endif  // LCP_INTERP_ENCODE_H_

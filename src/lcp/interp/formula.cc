@@ -1,0 +1,243 @@
+#include "lcp/interp/formula.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+FormulaPtr Formula::True() {
+  return std::shared_ptr<Formula>(new Formula(Kind::kTrue));
+}
+FormulaPtr Formula::False() {
+  return std::shared_ptr<Formula>(new Formula(Kind::kFalse));
+}
+
+FormulaPtr Formula::MakeAtom(Atom atom) {
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kAtom));
+  f->atom_ = std::move(atom);
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  LCP_CHECK(child != nullptr);
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kNot));
+  f->parts_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> parts) {
+  if (parts.empty()) return True();
+  if (parts.size() == 1) return parts[0];
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kAnd));
+  f->parts_ = std::move(parts);
+  return f;
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> parts) {
+  if (parts.empty()) return False();
+  if (parts.size() == 1) return parts[0];
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kOr));
+  f->parts_ = std::move(parts);
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::vector<std::string> vars, Atom guard,
+                           FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kExists));
+  f->vars_ = std::move(vars);
+  f->atom_ = std::move(guard);
+  f->parts_ = {std::move(body)};
+  return f;
+}
+
+FormulaPtr Formula::Forall(std::vector<std::string> vars, Atom guard,
+                           FormulaPtr body) {
+  auto f = std::shared_ptr<Formula>(new Formula(Kind::kForall));
+  f->vars_ = std::move(vars);
+  f->atom_ = std::move(guard);
+  f->parts_ = {std::move(body)};
+  return f;
+}
+
+namespace {
+void CollectFree(const Formula& f,
+                 std::unordered_set<std::string>& bound,
+                 std::vector<std::string>& out,
+                 std::unordered_set<std::string>& seen) {
+  auto add_atom = [&](const Atom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable() && bound.find(t.var()) == bound.end() &&
+          seen.insert(t.var()).second) {
+        out.push_back(t.var());
+      }
+    }
+  };
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return;
+    case Formula::Kind::kAtom:
+      add_atom(f.atom());
+      return;
+    case Formula::Kind::kNot:
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& part : f.parts()) {
+        CollectFree(*part, bound, out, seen);
+      }
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      std::vector<std::string> newly;
+      for (const std::string& v : f.vars()) {
+        if (bound.insert(v).second) newly.push_back(v);
+      }
+      add_atom(f.atom());
+      CollectFree(*f.body(), bound, out, seen);
+      for (const std::string& v : newly) bound.erase(v);
+      return;
+    }
+  }
+}
+}  // namespace
+
+std::vector<std::string> Formula::FreeVariables() const {
+  std::unordered_set<std::string> bound, seen;
+  std::vector<std::string> out;
+  CollectFree(*this, bound, out, seen);
+  return out;
+}
+
+void Formula::CollectPolarities(bool positive, std::set<RelationId>& pos,
+                                std::set<RelationId>& neg) const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kAtom:
+      (positive ? pos : neg).insert(atom_.relation);
+      return;
+    case Kind::kNot:
+      parts_[0]->CollectPolarities(!positive, pos, neg);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FormulaPtr& part : parts_) {
+        part->CollectPolarities(positive, pos, neg);
+      }
+      return;
+    case Kind::kExists:
+      // ∃x (G ∧ φ): the guard occurs with the ambient polarity.
+      (positive ? pos : neg).insert(atom_.relation);
+      parts_[0]->CollectPolarities(positive, pos, neg);
+      return;
+    case Kind::kForall:
+      // ∀x (G → φ) ≡ ∀x (¬G ∨ φ): the guard occurs with flipped polarity.
+      (positive ? neg : pos).insert(atom_.relation);
+      parts_[0]->CollectPolarities(positive, pos, neg);
+      return;
+  }
+}
+
+std::set<Value> Formula::Constants() const {
+  std::set<Value> out;
+  auto add_atom = [&](const Atom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_constant()) out.insert(t.constant());
+    }
+  };
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return out;
+    case Kind::kAtom:
+      add_atom(atom_);
+      return out;
+    default:
+      break;
+  }
+  if (kind_ == Kind::kExists || kind_ == Kind::kForall) add_atom(atom_);
+  for (const FormulaPtr& part : parts_) {
+    for (const Value& v : part->Constants()) out.insert(v);
+  }
+  return out;
+}
+
+BindingPatternSet Formula::BindPatt() const {
+  BindingPatternSet patterns;
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return patterns;
+    case Kind::kAtom: {
+      std::set<int> all;
+      for (int i = 0; i < static_cast<int>(atom_.terms.size()); ++i) {
+        all.insert(i);
+      }
+      patterns.insert({atom_.relation, all});
+      return patterns;
+    }
+    case Kind::kNot:
+      return parts_[0]->BindPatt();
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FormulaPtr& part : parts_) {
+        for (const BindingPattern& p : part->BindPatt()) patterns.insert(p);
+      }
+      return patterns;
+    case Kind::kExists:
+    case Kind::kForall: {
+      // {(R, {i | t_i ∉ x⃗})} — positions not bound by the quantifier.
+      patterns = parts_[0]->BindPatt();
+      std::set<int> inputs;
+      for (int i = 0; i < static_cast<int>(atom_.terms.size()); ++i) {
+        const Term& t = atom_.terms[i];
+        bool quantified =
+            t.is_variable() &&
+            std::find(vars_.begin(), vars_.end(), t.var()) != vars_.end();
+        if (!quantified) inputs.insert(i);
+      }
+      patterns.insert({atom_.relation, inputs});
+      return patterns;
+    }
+  }
+  return patterns;
+}
+
+std::string Formula::ToString(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return schema.AtomToString(atom_);
+    case Kind::kNot:
+      return StrCat("~", parts_[0]->ToString(schema));
+    case Kind::kAnd: {
+      std::vector<std::string> ps;
+      for (const FormulaPtr& part : parts_) ps.push_back(part->ToString(schema));
+      return StrCat("(", StrJoin(ps, " & "), ")");
+    }
+    case Kind::kOr: {
+      std::vector<std::string> ps;
+      for (const FormulaPtr& part : parts_) ps.push_back(part->ToString(schema));
+      return StrCat("(", StrJoin(ps, " | "), ")");
+    }
+    case Kind::kExists:
+      return StrCat("exists ", StrJoin(vars_, ","), " (",
+                    schema.AtomToString(atom_), " & ",
+                    parts_[0]->ToString(schema), ")");
+    case Kind::kForall:
+      return StrCat("forall ", StrJoin(vars_, ","), " (",
+                    schema.AtomToString(atom_), " -> ",
+                    parts_[0]->ToString(schema), ")");
+  }
+  return "?";
+}
+
+}  // namespace lcp

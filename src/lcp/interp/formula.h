@@ -1,0 +1,89 @@
+#ifndef LCP_INTERP_FORMULA_H_
+#define LCP_INTERP_FORMULA_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lcp/logic/atom.h"
+#include "lcp/logic/ids.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// A binding pattern (§3): a relation plus the set of positions that are
+/// "inputs" under the straightforward inductive evaluation of the formula.
+using BindingPattern = std::pair<RelationId, std::set<int>>;
+using BindingPatternSet = std::set<BindingPattern>;
+
+/// First-order formulas over a relational signature. Quantifiers are
+/// *relativized* (guarded by an atom), following the paper's observation
+/// that under active-domain semantics every formula can be brought into
+/// this form and that BindPatt is defined exactly for such formulas:
+///   Exists: ∃x⃗ (R(t⃗) ∧ φ)      Forall: ∀x⃗ (R(t⃗) → φ)
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,    ///< R(t⃗)
+    kNot,     ///< ¬φ
+    kAnd,     ///< φ ∧ ψ (n-ary)
+    kOr,      ///< φ ∨ ψ (n-ary)
+    kExists,  ///< ∃x⃗ (guard ∧ body)
+    kForall,  ///< ∀x⃗ (guard → body)
+  };
+
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr MakeAtom(Atom atom);
+  static FormulaPtr Not(FormulaPtr f);
+  static FormulaPtr And(std::vector<FormulaPtr> parts);
+  static FormulaPtr Or(std::vector<FormulaPtr> parts);
+  static FormulaPtr Exists(std::vector<std::string> vars, Atom guard,
+                           FormulaPtr body);
+  static FormulaPtr Forall(std::vector<std::string> vars, Atom guard,
+                           FormulaPtr body);
+
+  Kind kind() const { return kind_; }
+  const Atom& atom() const { return atom_; }          // kAtom / guard
+  const std::vector<FormulaPtr>& parts() const { return parts_; }
+  const std::vector<std::string>& vars() const { return vars_; }
+  /// For kExists/kForall: the single child is the body; atom() is the guard.
+  const FormulaPtr& body() const { return parts_[0]; }
+
+  /// Free variables, in order of first occurrence.
+  std::vector<std::string> FreeVariables() const;
+
+  /// Relations occurring positively / negatively (paper's definition:
+  /// under an even / odd number of negations; guards of ∀ count negative).
+  void CollectPolarities(bool positive, std::set<RelationId>& pos,
+                         std::set<RelationId>& neg) const;
+
+  /// Constants occurring anywhere in the formula.
+  std::set<Value> Constants() const;
+
+  /// BindPatt(φ) per the paper's table. The formula language here is
+  /// always relativized, so the result is always defined.
+  BindingPatternSet BindPatt() const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  explicit Formula(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  Atom atom_;
+  std::vector<FormulaPtr> parts_;
+  std::vector<std::string> vars_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_INTERP_FORMULA_H_

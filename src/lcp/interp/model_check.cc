@@ -1,0 +1,109 @@
+#include "lcp/interp/model_check.h"
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+/// Matches `guard` against `tuple` extending `binding`; returns false on
+/// clash. Newly bound variables are recorded for undo.
+bool MatchGuard(const Atom& guard, const Tuple& tuple, Binding& binding,
+                std::vector<std::string>& newly_bound) {
+  for (size_t i = 0; i < guard.terms.size(); ++i) {
+    const Term& t = guard.terms[i];
+    if (t.is_constant()) {
+      if (!(t.constant() == tuple[i])) return false;
+      continue;
+    }
+    auto it = binding.find(t.var());
+    if (it != binding.end()) {
+      if (!(it->second == tuple[i])) return false;
+    } else {
+      binding.emplace(t.var(), tuple[i]);
+      newly_bound.push_back(t.var());
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> EvaluateFormula(const Formula& formula, const Instance& instance,
+                             const Binding& binding) {
+  switch (formula.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kAtom: {
+      Tuple tuple;
+      for (const Term& t : formula.atom().terms) {
+        if (t.is_constant()) {
+          tuple.push_back(t.constant());
+        } else {
+          auto it = binding.find(t.var());
+          if (it == binding.end()) {
+            return InvalidArgumentError(
+                StrCat("unbound variable ", t.var(), " in atom"));
+          }
+          tuple.push_back(it->second);
+        }
+      }
+      return instance.relation(formula.atom().relation).Contains(tuple);
+    }
+    case Formula::Kind::kNot: {
+      LCP_ASSIGN_OR_RETURN(bool value,
+                           EvaluateFormula(*formula.parts()[0], instance,
+                                           binding));
+      return !value;
+    }
+    case Formula::Kind::kAnd: {
+      for (const FormulaPtr& part : formula.parts()) {
+        LCP_ASSIGN_OR_RETURN(bool value,
+                             EvaluateFormula(*part, instance, binding));
+        if (!value) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kOr: {
+      for (const FormulaPtr& part : formula.parts()) {
+        LCP_ASSIGN_OR_RETURN(bool value,
+                             EvaluateFormula(*part, instance, binding));
+        if (value) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      const bool exists = formula.kind() == Formula::Kind::kExists;
+      const RelationInstance& rel =
+          instance.relation(formula.atom().relation);
+      Binding extended = binding;
+      // The quantified variables shadow outer bindings.
+      for (const std::string& v : formula.vars()) extended.erase(v);
+      for (const Tuple& tuple : rel.tuples()) {
+        std::vector<std::string> newly_bound;
+        bool matched =
+            MatchGuard(formula.atom(), tuple, extended, newly_bound);
+        if (matched) {
+          LCP_ASSIGN_OR_RETURN(
+              bool value,
+              EvaluateFormula(*formula.body(), instance, extended));
+          if (exists && value) return true;
+          if (!exists && !value) return false;
+        }
+        for (const std::string& v : newly_bound) extended.erase(v);
+      }
+      return !exists;
+    }
+  }
+  return InternalError("unreachable formula kind");
+}
+
+Result<bool> EvaluateSentence(const Formula& formula,
+                              const Instance& instance) {
+  return EvaluateFormula(formula, instance, Binding{});
+}
+
+}  // namespace lcp

@@ -1,0 +1,23 @@
+#ifndef LCP_INTERP_MODEL_CHECK_H_
+#define LCP_INTERP_MODEL_CHECK_H_
+
+#include "lcp/base/result.h"
+#include "lcp/data/instance.h"
+#include "lcp/data/query_eval.h"
+#include "lcp/interp/formula.h"
+
+namespace lcp {
+
+/// Evaluates a formula on a finite instance under the given variable
+/// binding (active-domain semantics: the relativized quantifiers range over
+/// the guard relation's tuples). Fails if an atom's variable is unbound.
+Result<bool> EvaluateFormula(const Formula& formula, const Instance& instance,
+                             const Binding& binding);
+
+/// Convenience: closed formulas.
+Result<bool> EvaluateSentence(const Formula& formula,
+                              const Instance& instance);
+
+}  // namespace lcp
+
+#endif  // LCP_INTERP_MODEL_CHECK_H_

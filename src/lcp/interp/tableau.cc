@@ -1,0 +1,371 @@
+#include "lcp/interp/tableau.h"
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+FormulaPtr ToNnf(const FormulaPtr& formula, bool negate) {
+  switch (formula->kind()) {
+    case Formula::Kind::kTrue:
+      return negate ? Formula::False() : Formula::True();
+    case Formula::Kind::kFalse:
+      return negate ? Formula::True() : Formula::False();
+    case Formula::Kind::kAtom:
+      return negate ? Formula::Not(formula) : formula;
+    case Formula::Kind::kNot:
+      return ToNnf(formula->parts()[0], !negate);
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> parts;
+      for (const FormulaPtr& part : formula->parts()) {
+        parts.push_back(ToNnf(part, negate));
+      }
+      bool conjunction = (formula->kind() == Formula::Kind::kAnd) != negate;
+      return conjunction ? Formula::And(std::move(parts))
+                         : Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kExists:
+      return negate ? Formula::Forall(formula->vars(), formula->atom(),
+                                      ToNnf(formula->body(), true))
+                    : Formula::Exists(formula->vars(), formula->atom(),
+                                      ToNnf(formula->body(), false));
+    case Formula::Kind::kForall:
+      return negate ? Formula::Exists(formula->vars(), formula->atom(),
+                                      ToNnf(formula->body(), true))
+                    : Formula::Forall(formula->vars(), formula->atom(),
+                                      ToNnf(formula->body(), false));
+  }
+  return formula;
+}
+
+FormulaPtr SubstituteFormula(
+    const FormulaPtr& formula,
+    const std::unordered_map<std::string, Term>& mapping) {
+  auto subst_atom = [&](const Atom& atom) {
+    Atom out = atom;
+    for (Term& t : out.terms) {
+      if (t.is_variable()) {
+        auto it = mapping.find(t.var());
+        if (it != mapping.end()) t = it->second;
+      }
+    }
+    return out;
+  };
+  switch (formula->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return formula;
+    case Formula::Kind::kAtom:
+      return Formula::MakeAtom(subst_atom(formula->atom()));
+    case Formula::Kind::kNot:
+      return Formula::Not(SubstituteFormula(formula->parts()[0], mapping));
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::vector<FormulaPtr> parts;
+      for (const FormulaPtr& part : formula->parts()) {
+        parts.push_back(SubstituteFormula(part, mapping));
+      }
+      return formula->kind() == Formula::Kind::kAnd
+                 ? Formula::And(std::move(parts))
+                 : Formula::Or(std::move(parts));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      // Quantified variables shadow the substitution.
+      std::unordered_map<std::string, Term> inner = mapping;
+      for (const std::string& v : formula->vars()) inner.erase(v);
+      FormulaPtr body = SubstituteFormula(formula->body(), inner);
+      Atom guard = formula->atom();
+      for (Term& t : guard.terms) {
+        if (t.is_variable()) {
+          auto it = inner.find(t.var());
+          if (it != inner.end()) t = it->second;
+        }
+      }
+      return formula->kind() == Formula::Kind::kExists
+                 ? Formula::Exists(formula->vars(), std::move(guard),
+                                   std::move(body))
+                 : Formula::Forall(formula->vars(), std::move(guard),
+                                   std::move(body));
+    }
+  }
+  return formula;
+}
+
+namespace {
+
+struct SignedFormula {
+  FormulaPtr formula;
+  bool left;  ///< true: descends from the premise; false: from ¬conclusion.
+};
+
+struct GroundLiteral {
+  Atom atom;
+  bool positive;
+  bool left;
+};
+
+std::string AtomKey(const Atom& atom) {
+  std::ostringstream os;
+  os << atom.relation << "(";
+  for (const Term& t : atom.terms) os << t.ToString() << ",";
+  os << ")";
+  return os.str();
+}
+
+FormulaPtr LiteralFormula(const GroundLiteral& lit) {
+  FormulaPtr atom = Formula::MakeAtom(lit.atom);
+  return lit.positive ? atom : Formula::Not(atom);
+}
+
+/// Light constant folding so interpolants read cleanly.
+FormulaPtr Simplify(const FormulaPtr& formula) {
+  if (formula->kind() == Formula::Kind::kAnd ||
+      formula->kind() == Formula::Kind::kOr) {
+    const bool conj = formula->kind() == Formula::Kind::kAnd;
+    std::vector<FormulaPtr> parts;
+    for (const FormulaPtr& raw : formula->parts()) {
+      FormulaPtr part = Simplify(raw);
+      if (part->kind() == Formula::Kind::kTrue) {
+        if (conj) continue;
+        return Formula::True();
+      }
+      if (part->kind() == Formula::Kind::kFalse) {
+        if (conj) return Formula::False();
+        continue;
+      }
+      parts.push_back(std::move(part));
+    }
+    return conj ? Formula::And(std::move(parts))
+                : Formula::Or(std::move(parts));
+  }
+  return formula;
+}
+
+bool ContainsSkolemConstant(const Formula& formula) {
+  for (const Value& v : formula.Constants()) {
+    if (v.is_string() && v.AsString().rfind("@sk", 0) == 0) return true;
+  }
+  return false;
+}
+
+class Prover {
+ public:
+  Prover(const TableauOptions& options) : options_(options) {}
+
+  int steps() const { return steps_; }
+
+  /// Attempts to close the branch described by (todo, literals, universals).
+  /// Returns the branch interpolant if closed, nullopt if the branch stays
+  /// open (or the step budget runs out).
+  Result<std::optional<FormulaPtr>> Refute(
+      std::vector<SignedFormula> todo, std::vector<GroundLiteral> literals,
+      std::vector<SignedFormula> universals,
+      std::set<std::string> instantiated) {
+    while (!todo.empty()) {
+      if (++steps_ > options_.max_steps) return std::optional<FormulaPtr>();
+      SignedFormula sf = todo.back();
+      todo.pop_back();
+      const Formula& f = *sf.formula;
+      switch (f.kind()) {
+        case Formula::Kind::kTrue:
+          continue;
+        case Formula::Kind::kFalse:
+          // ⊥ from the premise side alone: interpolant ⊥; from the
+          // negated-conclusion side: ⊤.
+          return std::optional<FormulaPtr>(sf.left ? Formula::False()
+                                                   : Formula::True());
+        case Formula::Kind::kAtom:
+        case Formula::Kind::kNot: {
+          GroundLiteral lit;
+          lit.left = sf.left;
+          if (f.kind() == Formula::Kind::kAtom) {
+            lit.atom = f.atom();
+            lit.positive = true;
+          } else {
+            LCP_CHECK(f.parts()[0]->kind() == Formula::Kind::kAtom)
+                << "input not in NNF";
+            lit.atom = f.parts()[0]->atom();
+            lit.positive = false;
+          }
+          for (const Term& t : lit.atom.terms) {
+            if (t.is_variable()) {
+              return InvalidArgumentError(
+                  "tableau reached a non-ground literal; inputs must be "
+                  "sentences with guard-covered quantified variables");
+            }
+          }
+          // Closure against a complementary literal.
+          for (const GroundLiteral& other : literals) {
+            if (other.positive != lit.positive && other.atom == lit.atom) {
+              FormulaPtr interpolant;
+              if (lit.left && other.left) {
+                interpolant = Formula::False();
+              } else if (!lit.left && !other.left) {
+                interpolant = Formula::True();
+              } else {
+                // Mixed closure: the premise-side literal interpolates.
+                interpolant =
+                    LiteralFormula(lit.left ? lit : other);
+              }
+              return std::optional<FormulaPtr>(std::move(interpolant));
+            }
+          }
+          literals.push_back(std::move(lit));
+          continue;
+        }
+        case Formula::Kind::kAnd:
+          for (const FormulaPtr& part : f.parts()) {
+            todo.push_back(SignedFormula{part, sf.left});
+          }
+          continue;
+        case Formula::Kind::kOr: {
+          // β-split: every disjunct must close; interpolants combine with
+          // ∨ for a premise-side split and ∧ for a conclusion-side split.
+          std::vector<FormulaPtr> interpolants;
+          for (const FormulaPtr& part : f.parts()) {
+            std::vector<SignedFormula> branch_todo = todo;
+            branch_todo.push_back(SignedFormula{part, sf.left});
+            LCP_ASSIGN_OR_RETURN(
+                std::optional<FormulaPtr> sub,
+                Refute(std::move(branch_todo), literals, universals,
+                       instantiated));
+            if (!sub.has_value()) return std::optional<FormulaPtr>();
+            interpolants.push_back(std::move(*sub));
+          }
+          return std::optional<FormulaPtr>(
+              sf.left ? Formula::Or(std::move(interpolants))
+                      : Formula::And(std::move(interpolants)));
+        }
+        case Formula::Kind::kExists: {
+          // δ-rule: witness the quantified variables with fresh constants.
+          std::unordered_map<std::string, Term> mapping;
+          for (const std::string& v : f.vars()) {
+            mapping.emplace(
+                v, Term::Const(Value::Str(StrCat("@sk", skolem_counter_++))));
+          }
+          Atom guard = f.atom();
+          for (Term& t : guard.terms) {
+            if (t.is_variable()) {
+              auto it = mapping.find(t.var());
+              if (it != mapping.end()) t = it->second;
+            }
+          }
+          todo.push_back(
+              SignedFormula{SubstituteFormula(f.body(), mapping), sf.left});
+          todo.push_back(
+              SignedFormula{Formula::MakeAtom(std::move(guard)), sf.left});
+          continue;
+        }
+        case Formula::Kind::kForall:
+          universals.push_back(std::move(sf));
+          continue;
+      }
+    }
+
+    // Saturation point: γ-rule. Instantiate some universal against a
+    // positive guard-relation literal on the branch, split G(t⃗) → body(t⃗).
+    for (const SignedFormula& u : universals) {
+      const Formula& f = *u.formula;
+      for (const GroundLiteral& lit : literals) {
+        if (!lit.positive || lit.atom.relation != f.atom().relation) continue;
+        std::unordered_map<std::string, Term> mapping;
+        bool unifies = true;
+        for (size_t i = 0; i < f.atom().terms.size() && unifies; ++i) {
+          const Term& pattern = f.atom().terms[i];
+          const Term& ground = lit.atom.terms[i];
+          if (pattern.is_constant()) {
+            unifies = (pattern == ground);
+          } else {
+            auto it = mapping.find(pattern.var());
+            if (it == mapping.end()) {
+              mapping.emplace(pattern.var(), ground);
+            } else {
+              unifies = (it->second == ground);
+            }
+          }
+        }
+        if (!unifies) continue;
+        std::string key =
+            StrCat(reinterpret_cast<uintptr_t>(u.formula.get()), "|",
+                   AtomKey(lit.atom));
+        if (instantiated.count(key) > 0) continue;
+        if (++steps_ > options_.max_steps) return std::optional<FormulaPtr>();
+        std::set<std::string> child_done = instantiated;
+        child_done.insert(key);
+
+        Atom ground_guard = f.atom();
+        for (Term& t : ground_guard.terms) {
+          if (t.is_variable()) t = mapping.at(t.var());
+        }
+        // Branch 1: ¬G(t⃗).
+        LCP_ASSIGN_OR_RETURN(
+            std::optional<FormulaPtr> neg_branch,
+            Refute({SignedFormula{
+                       Formula::Not(Formula::MakeAtom(ground_guard)), u.left}},
+                   literals, universals, child_done));
+        if (!neg_branch.has_value()) continue;  // Try other instantiations.
+        // Branch 2: body(t⃗).
+        LCP_ASSIGN_OR_RETURN(
+            std::optional<FormulaPtr> pos_branch,
+            Refute({SignedFormula{SubstituteFormula(f.body(), mapping),
+                                  u.left}},
+                   literals, universals, child_done));
+        if (!pos_branch.has_value()) continue;  // Try other instantiations.
+        std::vector<FormulaPtr> both = {std::move(*neg_branch),
+                                        std::move(*pos_branch)};
+        return std::optional<FormulaPtr>(
+            u.left ? Formula::Or(std::move(both))
+                   : Formula::And(std::move(both)));
+      }
+    }
+    return std::optional<FormulaPtr>();  // Open branch.
+  }
+
+ private:
+  const TableauOptions& options_;
+  int steps_ = 0;
+  int skolem_counter_ = 0;
+};
+
+}  // namespace
+
+Result<InterpolationResult> ProveAndInterpolate(const Schema& schema,
+                                                FormulaPtr premise,
+                                                FormulaPtr conclusion,
+                                                const TableauOptions& options) {
+  (void)schema;
+  Prover prover(options);
+  std::vector<SignedFormula> todo = {
+      SignedFormula{ToNnf(premise, false), true},
+      SignedFormula{ToNnf(conclusion, true), false},
+  };
+  LCP_ASSIGN_OR_RETURN(std::optional<FormulaPtr> closed,
+                       prover.Refute(std::move(todo), {}, {}, {}));
+  InterpolationResult result;
+  result.rule_applications = prover.steps();
+  if (closed.has_value()) {
+    result.proved = true;
+    result.interpolant = Simplify(*closed);
+    result.skolem_free = !ContainsSkolemConstant(*result.interpolant);
+  }
+  return result;
+}
+
+Result<bool> ProveEntailment(const Schema& schema, FormulaPtr premise,
+                             FormulaPtr conclusion,
+                             const TableauOptions& options) {
+  LCP_ASSIGN_OR_RETURN(InterpolationResult result,
+                       ProveAndInterpolate(schema, std::move(premise),
+                                           std::move(conclusion), options));
+  return result.proved;
+}
+
+}  // namespace lcp

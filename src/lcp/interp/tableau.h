@@ -1,0 +1,67 @@
+#ifndef LCP_INTERP_TABLEAU_H_
+#define LCP_INTERP_TABLEAU_H_
+
+#include <unordered_map>
+
+#include "lcp/base/result.h"
+#include "lcp/interp/formula.h"
+
+namespace lcp {
+
+struct TableauOptions {
+  /// Budget on rule applications across the whole refutation.
+  int max_steps = 20000;
+};
+
+/// Result of a ProveAndInterpolate call.
+struct InterpolationResult {
+  /// True if the tableau refuted premise ∧ ¬conclusion (entailment proved).
+  bool proved = false;
+  /// The Craig/Lyndon interpolant extracted from the refutation (only
+  /// meaningful when proved). Access Interpolation (Theorem 4): it is
+  /// entailed by the premise, entails the conclusion, and its relation
+  /// polarities / constants / binding patterns are bounded by both sides.
+  FormulaPtr interpolant;
+  int rule_applications = 0;
+  /// True when no δ-rule (Skolem) constant leaked into the interpolant.
+  /// (Skolem constants would need to be re-quantified; the test suite
+  /// exercises skolem-free cases.)
+  bool skolem_free = true;
+};
+
+/// Signed-tableau prover for the relativized-quantifier formula language of
+/// formula.h, with Maehara-style interpolant extraction: every node of the
+/// refutation carries the side (premise / negated conclusion) it descends
+/// from; branch closures produce atomic interpolants and β-splits combine
+/// them with ∨ / ∧ according to the side of the split formula. This is the
+/// proof-system backbone of the paper's Theorem 4 (the new component there,
+/// the binding-pattern analysis, is checked by the test suite via
+/// Formula::BindPatt on the extracted interpolants).
+///
+/// The γ-rule instantiates relativized universals against the guard
+/// relation's positive literals on the branch, so the prover is complete
+/// for the guarded-style entailments the paper works with, and bounded by
+/// `max_steps` in general (first-order validity being undecidable).
+Result<InterpolationResult> ProveAndInterpolate(const Schema& schema,
+                                                FormulaPtr premise,
+                                                FormulaPtr conclusion,
+                                                const TableauOptions& options);
+
+/// Entailment check without interpolation (same engine).
+Result<bool> ProveEntailment(const Schema& schema, FormulaPtr premise,
+                             FormulaPtr conclusion,
+                             const TableauOptions& options);
+
+/// Converts a formula to negation normal form (negating if `negate`).
+/// Relativized quantifiers dualize: ¬∃x(G ∧ φ) = ∀x(G → ¬φ) and
+/// ¬∀x(G → φ) = ∃x(G ∧ ¬φ).
+FormulaPtr ToNnf(const FormulaPtr& formula, bool negate);
+
+/// Capture-avoiding substitution of variables by constant terms.
+FormulaPtr SubstituteFormula(
+    const FormulaPtr& formula,
+    const std::unordered_map<std::string, Term>& mapping);
+
+}  // namespace lcp
+
+#endif  // LCP_INTERP_TABLEAU_H_

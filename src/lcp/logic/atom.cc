@@ -1,0 +1,32 @@
+#include "lcp/logic/atom.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace lcp {
+
+std::string Atom::ToString() const {
+  std::ostringstream os;
+  os << "R" << relation << "(";
+  for (size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << terms[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms) {
+  std::vector<std::string> vars;
+  std::unordered_set<std::string> seen;
+  for (const Atom& atom : atoms) {
+    for (const Term& term : atom.terms) {
+      if (term.is_variable() && seen.insert(term.var()).second) {
+        vars.push_back(term.var());
+      }
+    }
+  }
+  return vars;
+}
+
+}  // namespace lcp

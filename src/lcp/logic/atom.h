@@ -1,0 +1,38 @@
+#ifndef LCP_LOGIC_ATOM_H_
+#define LCP_LOGIC_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "lcp/logic/ids.h"
+#include "lcp/logic/term.h"
+
+namespace lcp {
+
+/// A relational atom R(t1, ..., tn), where each ti is a variable or a
+/// constant. The relation is referenced by id; resolving names requires the
+/// owning Schema.
+struct Atom {
+  RelationId relation = kInvalidRelation;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(RelationId rel, std::vector<Term> args)
+      : relation(rel), terms(std::move(args)) {}
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.relation == b.relation && a.terms == b.terms;
+  }
+
+  /// Renders as "R3(x, "smith")" using a relation-name callback; see
+  /// Schema::AtomToString for the named form.
+  std::string ToString() const;
+};
+
+/// Collects the distinct variable names of `atoms` in order of first
+/// occurrence.
+std::vector<std::string> CollectVariables(const std::vector<Atom>& atoms);
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_ATOM_H_

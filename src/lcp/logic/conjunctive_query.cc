@@ -1,0 +1,41 @@
+#include "lcp/logic/conjunctive_query.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+std::vector<std::string> ConjunctiveQuery::AllVariables() const {
+  std::vector<std::string> vars = free_variables;
+  std::unordered_set<std::string> seen(free_variables.begin(),
+                                       free_variables.end());
+  for (const std::string& v : CollectVariables(atoms)) {
+    if (seen.insert(v).second) vars.push_back(v);
+  }
+  return vars;
+}
+
+Status ConjunctiveQuery::Validate() const {
+  if (atoms.empty()) {
+    return InvalidArgumentError(StrCat("query ", name, " has no atoms"));
+  }
+  std::vector<std::string> body_vars = CollectVariables(atoms);
+  std::unordered_set<std::string> body_set(body_vars.begin(), body_vars.end());
+  std::unordered_set<std::string> seen_free;
+  for (const std::string& v : free_variables) {
+    if (!seen_free.insert(v).second) {
+      return InvalidArgumentError(
+          StrCat("query ", name, ": repeated free variable ", v));
+    }
+    if (body_set.find(v) == body_set.end()) {
+      return InvalidArgumentError(
+          StrCat("query ", name, ": free variable ", v,
+                 " does not occur in any atom (unsafe)"));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lcp

@@ -1,0 +1,33 @@
+#ifndef LCP_LOGIC_CONJUNCTIVE_QUERY_H_
+#define LCP_LOGIC_CONJUNCTIVE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "lcp/base/status.h"
+#include "lcp/logic/atom.h"
+
+namespace lcp {
+
+/// A conjunctive query Q(x⃗) = ∃y⃗ (A1 ∧ ... ∧ An). The variables listed in
+/// `free_variables` are the answer variables, in output order; all other
+/// variables of the atoms are existentially quantified.
+struct ConjunctiveQuery {
+  std::string name = "Q";
+  std::vector<std::string> free_variables;
+  std::vector<Atom> atoms;
+
+  bool is_boolean() const { return free_variables.empty(); }
+
+  /// Returns the distinct variables of the query (free first, then
+  /// existential in order of first occurrence).
+  std::vector<std::string> AllVariables() const;
+
+  /// Checks safety: every free variable occurs in some atom, atoms are
+  /// non-empty, and no free variable is repeated in the answer list.
+  Status Validate() const;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_CONJUNCTIVE_QUERY_H_

@@ -1,0 +1,32 @@
+#include "lcp/logic/containment.h"
+
+#include "lcp/base/check.h"
+#include "lcp/chase/engine.h"
+#include "lcp/chase/matcher.h"
+
+namespace lcp {
+
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  LCP_CHECK_EQ(q1.free_variables.size(), q2.free_variables.size())
+      << "containment requires equal arity";
+  TermArena arena;
+  CanonicalDatabase canonical = BuildCanonicalDatabase(q1, arena);
+  VariableTable vars;
+  std::vector<PatternAtom> pattern = CompileAtoms(q2.atoms, vars, arena);
+  std::vector<ChaseTermId> assignment(vars.size(), kUnboundTerm);
+  for (size_t i = 0; i < q2.free_variables.size(); ++i) {
+    int idx = vars.IndexOf(q2.free_variables[i]);
+    ChaseTermId target = canonical.var_to_term.at(q1.free_variables[i]);
+    if (assignment[idx] != kUnboundTerm && assignment[idx] != target) {
+      return false;  // q2 repeats a free variable that q1 does not.
+    }
+    assignment[idx] = target;
+  }
+  return HasHomomorphism(pattern, canonical.config, std::move(assignment));
+}
+
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+}  // namespace lcp

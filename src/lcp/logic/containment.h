@@ -1,0 +1,19 @@
+#ifndef LCP_LOGIC_CONTAINMENT_H_
+#define LCP_LOGIC_CONTAINMENT_H_
+
+#include "lcp/logic/conjunctive_query.h"
+
+namespace lcp {
+
+/// Classical CQ containment (Chandra–Merlin): q1 ⊆ q2 iff there is a
+/// homomorphism from q2 into the canonical database of q1 mapping q2's
+/// free variables to q1's (position-wise). Requires both queries to have
+/// the same number of free variables.
+bool IsContainedIn(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// q1 ≡ q2 (containment both ways).
+bool AreEquivalent(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_CONTAINMENT_H_

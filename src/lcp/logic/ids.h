@@ -1,0 +1,18 @@
+#ifndef LCP_LOGIC_IDS_H_
+#define LCP_LOGIC_IDS_H_
+
+#include <cstdint>
+
+namespace lcp {
+
+/// Dense identifier of a relation within a Schema.
+using RelationId = int32_t;
+/// Dense identifier of an access method within a Schema.
+using AccessMethodId = int32_t;
+
+inline constexpr RelationId kInvalidRelation = -1;
+inline constexpr AccessMethodId kInvalidAccessMethod = -1;
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_IDS_H_

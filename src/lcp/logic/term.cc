@@ -1,0 +1,14 @@
+#include "lcp/logic/term.h"
+
+namespace lcp {
+
+std::string Term::ToString() const {
+  if (is_variable()) return var_;
+  return value_.ToString();
+}
+
+std::ostream& operator<<(std::ostream& os, const Term& term) {
+  return os << term.ToString();
+}
+
+}  // namespace lcp

@@ -1,0 +1,55 @@
+#ifndef LCP_LOGIC_TERM_H_
+#define LCP_LOGIC_TERM_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "lcp/logic/value.h"
+
+namespace lcp {
+
+/// A term of a query or dependency: a named variable or a constant value.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  static Term Var(std::string name) {
+    return Term(Kind::kVariable, std::move(name), Value());
+  }
+  static Term Const(Value value) {
+    return Term(Kind::kConstant, "", std::move(value));
+  }
+  static Term Const(int64_t v) { return Const(Value::Int(v)); }
+  static Term Const(const char* v) { return Const(Value::Str(v)); }
+
+  Kind kind() const { return kind_; }
+  bool is_variable() const { return kind_ == Kind::kVariable; }
+  bool is_constant() const { return kind_ == Kind::kConstant; }
+
+  /// Variable name; only meaningful when is_variable().
+  const std::string& var() const { return var_; }
+  /// Constant value; only meaningful when is_constant().
+  const Value& constant() const { return value_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind_ == b.kind_ && a.var_ == b.var_ && a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Term(Kind kind, std::string var, Value value)
+      : kind_(kind), var_(std::move(var)), value_(std::move(value)) {}
+
+  Kind kind_;
+  std::string var_;
+  Value value_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Term& term);
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_TERM_H_

@@ -1,0 +1,90 @@
+#include "lcp/logic/tgd.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+std::vector<std::string> Tgd::FrontierVariables() const {
+  std::vector<std::string> body_vars = CollectVariables(body);
+  std::unordered_set<std::string> head_vars;
+  for (const std::string& v : CollectVariables(head)) head_vars.insert(v);
+  std::vector<std::string> frontier;
+  for (const std::string& v : body_vars) {
+    if (head_vars.count(v) > 0) frontier.push_back(v);
+  }
+  return frontier;
+}
+
+std::vector<std::string> Tgd::ExistentialVariables() const {
+  std::unordered_set<std::string> body_vars;
+  for (const std::string& v : CollectVariables(body)) body_vars.insert(v);
+  std::vector<std::string> existential;
+  for (const std::string& v : CollectVariables(head)) {
+    if (body_vars.count(v) == 0) existential.push_back(v);
+  }
+  return existential;
+}
+
+bool Tgd::IsGuarded() const {
+  std::vector<std::string> body_vars = CollectVariables(body);
+  for (const Atom& atom : body) {
+    std::unordered_set<std::string> atom_vars;
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) atom_vars.insert(t.var());
+    }
+    bool guards_all = true;
+    for (const std::string& v : body_vars) {
+      if (atom_vars.count(v) == 0) {
+        guards_all = false;
+        break;
+      }
+    }
+    if (guards_all) return true;
+  }
+  return body.empty();
+}
+
+namespace {
+bool IsPlainAtom(const Atom& atom) {
+  std::unordered_set<std::string> seen;
+  for (const Term& t : atom.terms) {
+    if (t.is_constant()) return false;
+    if (!seen.insert(t.var()).second) return false;
+  }
+  return true;
+}
+}  // namespace
+
+bool Tgd::IsInclusionDependency() const {
+  return body.size() == 1 && head.size() == 1 && IsPlainAtom(body[0]) &&
+         IsPlainAtom(head[0]);
+}
+
+Status Tgd::Validate() const {
+  if (body.empty()) {
+    return InvalidArgumentError(StrCat("TGD ", name, " has empty body"));
+  }
+  if (head.empty()) {
+    return InvalidArgumentError(StrCat("TGD ", name, " has empty head"));
+  }
+  return Status::Ok();
+}
+
+std::string Tgd::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) os << " & ";
+    os << body[i].ToString();
+  }
+  os << " -> ";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) os << " & ";
+    os << head[i].ToString();
+  }
+  return os.str();
+}
+
+}  // namespace lcp

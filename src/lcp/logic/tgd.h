@@ -1,0 +1,40 @@
+#ifndef LCP_LOGIC_TGD_H_
+#define LCP_LOGIC_TGD_H_
+
+#include <string>
+#include <vector>
+
+#include "lcp/base/status.h"
+#include "lcp/logic/atom.h"
+
+namespace lcp {
+
+/// A tuple-generating dependency ∀x⃗ φ(x⃗) → ∃y⃗ ρ(x⃗, y⃗), where φ (the
+/// body) and ρ (the head) are conjunctions of relational atoms, possibly
+/// with constants (§2 of the paper).
+struct Tgd {
+  std::string name;
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+
+  /// Variables shared between body and head (the frontier x⃗).
+  std::vector<std::string> FrontierVariables() const;
+  /// Head variables not occurring in the body (the existential y⃗).
+  std::vector<std::string> ExistentialVariables() const;
+
+  /// A TGD is guarded if some body atom contains all body variables.
+  bool IsGuarded() const;
+
+  /// An inclusion dependency has a single body atom and a single head atom,
+  /// no constants, and no repeated variables within either atom.
+  bool IsInclusionDependency() const;
+
+  /// Checks well-formedness: non-empty body and head.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_LOGIC_TGD_H_

@@ -1,0 +1,102 @@
+#include "lcp/plan/cardinality_cost.h"
+
+#include <algorithm>
+#include <variant>
+
+namespace lcp {
+
+namespace {
+
+/// Estimated size of an RA expression given temp-table estimates. Joins use
+/// min(children) * overlap; union adds; difference keeps the left size;
+/// select halves; the rest pass through.
+double EstimateExpr(const RaExpr& expr,
+                    const std::unordered_map<std::string, double>& tables,
+                    double overlap) {
+  switch (expr.op()) {
+    case RaExpr::Op::kTempScan: {
+      auto it = tables.find(expr.table());
+      return it == tables.end() ? 0.0 : it->second;
+    }
+    case RaExpr::Op::kSingleton:
+      return 1.0;
+    case RaExpr::Op::kProject:
+    case RaExpr::Op::kRename:
+      return EstimateExpr(*expr.children()[0], tables, overlap);
+    case RaExpr::Op::kSelect:
+      return 0.5 * EstimateExpr(*expr.children()[0], tables, overlap);
+    case RaExpr::Op::kJoin: {
+      double l = EstimateExpr(*expr.children()[0], tables, overlap);
+      double r = EstimateExpr(*expr.children()[1], tables, overlap);
+      return std::min(l, r) * overlap + 1.0;
+    }
+    case RaExpr::Op::kUnion:
+      return EstimateExpr(*expr.children()[0], tables, overlap) +
+             EstimateExpr(*expr.children()[1], tables, overlap);
+    case RaExpr::Op::kDifference:
+      return EstimateExpr(*expr.children()[0], tables, overlap);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+double CardinalityCostFunction::RelationCardinality(
+    RelationId relation) const {
+  auto it = estimates_.cardinality.find(relation);
+  return it == estimates_.cardinality.end() ? estimates_.default_cardinality
+                                            : it->second;
+}
+
+std::unordered_map<std::string, double>
+CardinalityCostFunction::EstimateTables(const Plan& plan) const {
+  std::unordered_map<std::string, double> tables;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod& method = schema_->access_method(access->method);
+      double bindings =
+          access->input == nullptr
+              ? 1.0
+              : EstimateExpr(*access->input, tables, estimates_.join_overlap);
+      double output = RelationCardinality(method.relation);
+      if (!method.input_positions.empty()) {
+        // A keyed access returns roughly one match per binding.
+        output = std::min(output, bindings);
+      }
+      tables[access->output_table] = output;
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      tables[query.output_table] =
+          EstimateExpr(*query.expr, tables, estimates_.join_overlap);
+    }
+  }
+  return tables;
+}
+
+double CardinalityCostFunction::Cost(const Plan& plan) const {
+  std::unordered_map<std::string, double> tables;
+  double total = 0;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod& method = schema_->access_method(access->method);
+      double bindings =
+          access->input == nullptr
+              ? 1.0
+              : EstimateExpr(*access->input, tables, estimates_.join_overlap);
+      // Every access command charges at least one call.
+      total += method.cost * std::max(1.0, bindings);
+      double output = RelationCardinality(method.relation);
+      if (!method.input_positions.empty()) {
+        output = std::min(output, bindings);
+      }
+      tables[access->output_table] = output;
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      tables[query.output_table] =
+          EstimateExpr(*query.expr, tables, estimates_.join_overlap);
+    }
+  }
+  return total;
+}
+
+}  // namespace lcp

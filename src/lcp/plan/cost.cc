@@ -1,0 +1,31 @@
+#include "lcp/plan/cost.h"
+
+#include <variant>
+
+namespace lcp {
+
+double SimpleCostFunction::Cost(const Plan& plan) const {
+  double total = 0;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      total += schema_->access_method(access->method).cost;
+    }
+  }
+  return total;
+}
+
+double WeightedAccessCostFunction::Cost(const Plan& plan) const {
+  double total = 0;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod& method = schema_->access_method(access->method);
+      double calls = 1.0;
+      auto it = estimated_calls_.find(method.relation);
+      if (it != estimated_calls_.end()) calls = it->second;
+      total += method.cost * calls;
+    }
+  }
+  return total;
+}
+
+}  // namespace lcp

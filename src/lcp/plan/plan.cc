@@ -1,0 +1,95 @@
+#include "lcp/plan/plan.h"
+
+#include <sstream>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+const char* PlanLanguageName(PlanLanguage lang) {
+  switch (lang) {
+    case PlanLanguage::kSpj:
+      return "SPJ";
+    case PlanLanguage::kUspj:
+      return "USPJ";
+    case PlanLanguage::kUspjNeg:
+      return "USPJ^neg";
+    case PlanLanguage::kRa:
+      return "RA";
+  }
+  return "?";
+}
+
+int Plan::NumAccessCommands() const {
+  int count = 0;
+  for (const Command& cmd : commands) {
+    if (std::holds_alternative<AccessCommand>(cmd)) ++count;
+  }
+  return count;
+}
+
+PlanLanguage Plan::Language() const {
+  bool uses_union = false;
+  bool uses_difference = false;
+  auto scan = [&](const RaExprPtr& expr) {
+    if (expr == nullptr) return;
+    if (expr->Uses(RaExpr::Op::kUnion)) uses_union = true;
+    if (expr->Uses(RaExpr::Op::kDifference)) uses_difference = true;
+  };
+  for (const Command& cmd : commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      scan(access->input);
+    } else {
+      scan(std::get<QueryCommand>(cmd).expr);
+    }
+  }
+  if (uses_difference) return PlanLanguage::kUspjNeg;
+  if (uses_union) return PlanLanguage::kUspj;
+  return PlanLanguage::kSpj;
+}
+
+std::string Plan::ToString(const Schema& schema) const {
+  std::ostringstream os;
+  for (const Command& cmd : commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      const AccessMethod& method = schema.access_method(access->method);
+      os << access->output_table << " <- " << method.name << " <- ";
+      if (access->input != nullptr) {
+        os << access->input->ToString();
+      } else if (!access->constant_inputs.empty()) {
+        std::vector<std::string> consts;
+        for (const auto& [pos, value] : access->constant_inputs) {
+          consts.push_back(StrCat("pos", pos, "=", value.ToString()));
+        }
+        os << "const{" << StrJoin(consts, ",") << "}";
+      } else {
+        os << "{}";
+      }
+      if (!access->position_equalities.empty() ||
+          !access->position_constants.empty()) {
+        os << " where";
+        for (const auto& [a, b] : access->position_equalities) {
+          os << " pos" << a << "=pos" << b;
+        }
+        for (const auto& [p, v] : access->position_constants) {
+          os << " pos" << p << "=" << v.ToString();
+        }
+      }
+      std::vector<std::string> cols;
+      for (const auto& [attr, pos] : access->output_columns) {
+        cols.push_back(StrCat(attr, ":", pos));
+      }
+      os << " out(" << StrJoin(cols, ",") << ")";
+      os << "\n";
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      os << query.output_table << " := " << query.expr->ToString() << "\n";
+    }
+  }
+  os << "output: " << output_table;
+  if (!output_attrs.empty()) os << "[" << StrJoin(output_attrs, ",") << "]";
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace lcp

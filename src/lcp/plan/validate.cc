@@ -1,0 +1,192 @@
+#include "lcp/plan/validate.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+using AttrSet = std::vector<std::string>;
+
+bool Has(const AttrSet& attrs, const std::string& attr) {
+  return std::find(attrs.begin(), attrs.end(), attr) != attrs.end();
+}
+
+/// Infers the attribute set of an RA expression over the known tables, or
+/// fails on inconsistencies.
+Result<AttrSet> InferAttrs(const RaExpr& expr,
+                           const std::unordered_map<std::string, AttrSet>&
+                               tables) {
+  switch (expr.op()) {
+    case RaExpr::Op::kTempScan: {
+      auto it = tables.find(expr.table());
+      if (it == tables.end()) {
+        return InvalidArgumentError(
+            StrCat("scan of undefined temporary table ", expr.table()));
+      }
+      return it->second;
+    }
+    case RaExpr::Op::kSingleton:
+      return AttrSet{};
+    case RaExpr::Op::kProject: {
+      LCP_ASSIGN_OR_RETURN(AttrSet child,
+                           InferAttrs(*expr.children()[0], tables));
+      for (const std::string& attr : expr.attrs()) {
+        if (!Has(child, attr)) {
+          return InvalidArgumentError(
+              StrCat("projection references missing attribute ", attr));
+        }
+      }
+      return expr.attrs();
+    }
+    case RaExpr::Op::kSelect: {
+      LCP_ASSIGN_OR_RETURN(AttrSet child,
+                           InferAttrs(*expr.children()[0], tables));
+      for (const RaExpr::Condition& c : expr.conditions()) {
+        if (!Has(child, c.lhs)) {
+          return InvalidArgumentError(
+              StrCat("selection references missing attribute ", c.lhs));
+        }
+        if (c.kind == RaExpr::Condition::Kind::kAttrEqAttr &&
+            !Has(child, c.rhs_attr)) {
+          return InvalidArgumentError(
+              StrCat("selection references missing attribute ", c.rhs_attr));
+        }
+      }
+      return child;
+    }
+    case RaExpr::Op::kJoin: {
+      LCP_ASSIGN_OR_RETURN(AttrSet left,
+                           InferAttrs(*expr.children()[0], tables));
+      LCP_ASSIGN_OR_RETURN(AttrSet right,
+                           InferAttrs(*expr.children()[1], tables));
+      for (const std::string& attr : right) {
+        if (!Has(left, attr)) left.push_back(attr);
+      }
+      return left;
+    }
+    case RaExpr::Op::kUnion:
+    case RaExpr::Op::kDifference: {
+      LCP_ASSIGN_OR_RETURN(AttrSet left,
+                           InferAttrs(*expr.children()[0], tables));
+      LCP_ASSIGN_OR_RETURN(AttrSet right,
+                           InferAttrs(*expr.children()[1], tables));
+      if (left.size() != right.size()) {
+        return InvalidArgumentError(
+            "union/difference over different attribute sets");
+      }
+      for (const std::string& attr : right) {
+        if (!Has(left, attr)) {
+          return InvalidArgumentError(
+              StrCat("union/difference operand missing attribute ", attr));
+        }
+      }
+      return left;
+    }
+    case RaExpr::Op::kRename: {
+      LCP_ASSIGN_OR_RETURN(AttrSet child,
+                           InferAttrs(*expr.children()[0], tables));
+      for (const auto& [from, to] : expr.renames()) {
+        auto it = std::find(child.begin(), child.end(), from);
+        if (it == child.end()) {
+          return InvalidArgumentError(
+              StrCat("rename of missing attribute ", from));
+        }
+        *it = to;
+      }
+      return child;
+    }
+  }
+  return InternalError("unreachable RA op");
+}
+
+}  // namespace
+
+Status ValidatePlan(const Plan& plan, const Schema& schema) {
+  std::unordered_map<std::string, AttrSet> tables;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      if (access->method < 0 ||
+          access->method >= schema.num_access_methods()) {
+        return InvalidArgumentError(
+            StrCat("unknown access method id ", access->method));
+      }
+      const AccessMethod& method = schema.access_method(access->method);
+      const Relation& rel = schema.relation(method.relation);
+
+      AttrSet input_attrs;
+      if (access->input != nullptr) {
+        LCP_ASSIGN_OR_RETURN(input_attrs, InferAttrs(*access->input, tables));
+      }
+      std::unordered_set<int> bound;
+      for (const auto& [attr, pos] : access->input_binding) {
+        if (!Has(input_attrs, attr)) {
+          return InvalidArgumentError(
+              StrCat("input binding references missing attribute ", attr,
+                     " for method ", method.name));
+        }
+        bound.insert(pos);
+      }
+      for (const auto& [pos, value] : access->constant_inputs) bound.insert(pos);
+      for (int pos : method.input_positions) {
+        if (bound.count(pos) == 0) {
+          return InvalidArgumentError(
+              StrCat("input position ", pos, " of method ", method.name,
+                     " is unbound"));
+        }
+      }
+      AttrSet out_attrs;
+      for (const auto& [attr, pos] : access->output_columns) {
+        if (pos < 0 || pos >= rel.arity) {
+          return InvalidArgumentError(
+              StrCat("output column ", attr, " references position ", pos,
+                     " outside ", rel.name));
+        }
+        if (Has(out_attrs, attr)) {
+          return InvalidArgumentError(
+              StrCat("duplicate output attribute ", attr));
+        }
+        out_attrs.push_back(attr);
+      }
+      for (const auto& [a, b] : access->position_equalities) {
+        if (a < 0 || a >= rel.arity || b < 0 || b >= rel.arity) {
+          return InvalidArgumentError("position equality out of range");
+        }
+      }
+      for (const auto& [pos, value] : access->position_constants) {
+        if (pos < 0 || pos >= rel.arity) {
+          return InvalidArgumentError("position constant out of range");
+        }
+      }
+      tables[access->output_table] = std::move(out_attrs);
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      if (query.expr == nullptr) {
+        return InvalidArgumentError("query command without expression");
+      }
+      LCP_ASSIGN_OR_RETURN(AttrSet attrs, InferAttrs(*query.expr, tables));
+      tables[query.output_table] = std::move(attrs);
+    }
+  }
+  auto it = tables.find(plan.output_table);
+  if (it == tables.end()) {
+    return InvalidArgumentError(
+        StrCat("output table ", plan.output_table, " is never produced"));
+  }
+  for (const std::string& attr : plan.output_attrs) {
+    if (!Has(it->second, attr)) {
+      return InvalidArgumentError(
+          StrCat("output attribute ", attr, " missing from ",
+                 plan.output_table));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lcp

@@ -1,0 +1,22 @@
+#ifndef LCP_PLAN_VALIDATE_H_
+#define LCP_PLAN_VALIDATE_H_
+
+#include "lcp/base/status.h"
+#include "lcp/plan/plan.h"
+
+namespace lcp {
+
+/// Statically validates a plan against a schema, without executing it:
+///  - every access command references a known method, binds exactly its
+///    input positions (via columns of its input expression or constants),
+///    and its output columns reference valid positions;
+///  - every RA expression only scans temporary tables already produced,
+///    and projections/selections/renames/unions are attribute-consistent;
+///  - the output table exists and exposes the declared output attributes.
+/// Proof-generated plans always pass; the check exists for plans built or
+/// transformed by hand (and is itself exercised by the test suite).
+Status ValidatePlan(const Plan& plan, const Schema& schema);
+
+}  // namespace lcp
+
+#endif  // LCP_PLAN_VALIDATE_H_

@@ -1,0 +1,331 @@
+#include "lcp/planner/executable_query.h"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "lcp/base/strings.h"
+#include "lcp/ra/expr.h"
+
+namespace lcp {
+
+ExecutableQueryPtr ExecutableQuery::True() {
+  return std::shared_ptr<ExecutableQuery>(new ExecutableQuery(Kind::kTrue));
+}
+
+ExecutableQueryPtr ExecutableQuery::Exists(AccessMethodId method,
+                                           std::vector<ChaseTermId> fact_terms,
+                                           ExecutableQueryPtr next) {
+  auto node = std::shared_ptr<ExecutableQuery>(
+      new ExecutableQuery(Kind::kExists));
+  node->method_ = method;
+  node->fact_terms_ = std::move(fact_terms);
+  node->next_ = std::move(next);
+  return node;
+}
+
+ExecutableQueryPtr ExecutableQuery::Forall(AccessMethodId method,
+                                           std::vector<ChaseTermId> fact_terms,
+                                           ExecutableQueryPtr next) {
+  auto node = std::shared_ptr<ExecutableQuery>(
+      new ExecutableQuery(Kind::kForall));
+  node->method_ = method;
+  node->fact_terms_ = std::move(fact_terms);
+  node->next_ = std::move(next);
+  return node;
+}
+
+int ExecutableQuery::depth() const {
+  return kind_ == Kind::kTrue ? 0 : 1 + next_->depth();
+}
+
+bool ExecutableQuery::HasForall() const {
+  if (kind_ == Kind::kTrue) return false;
+  return kind_ == Kind::kForall || next_->HasForall();
+}
+
+std::string ExecutableQuery::ToString(const Schema& schema,
+                                      const TermArena& arena) const {
+  if (kind_ == Kind::kTrue) return "true";
+  std::ostringstream os;
+  os << (kind_ == Kind::kExists ? "exists" : "forall") << "["
+     << schema.access_method(method_).name << ": ";
+  const Relation& rel = schema.relation(schema.access_method(method_).relation);
+  os << rel.name << "(";
+  for (size_t i = 0; i < fact_terms_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << arena.DisplayName(fact_terms_[i]);
+  }
+  os << ")] . " << next_->ToString(schema, arena);
+  return os.str();
+}
+
+namespace {
+
+using TermBinding = std::unordered_map<ChaseTermId, Value>;
+
+/// Resolves a chase term to a value under `binding`; constants resolve to
+/// themselves. Returns nullptr when the term is an unbound null.
+const Value* Resolve(ChaseTermId term, const TermBinding& binding,
+                     const TermArena& arena) {
+  if (TermArena::IsConstant(term)) return &arena.ConstantOf(term);
+  auto it = binding.find(term);
+  return it == binding.end() ? nullptr : &it->second;
+}
+
+Result<bool> EvalRec(const ExecutableQuery& query, SimulatedSource& source,
+                     const TermArena& arena, TermBinding& binding) {
+  if (query.kind() == ExecutableQuery::Kind::kTrue) return true;
+  const AccessMethod& method =
+      source.schema().access_method(query.method());
+  Tuple inputs;
+  for (int pos : method.input_positions) {
+    const Value* v = Resolve(query.fact_terms()[pos], binding, arena);
+    if (v == nullptr) {
+      return FailedPreconditionError(
+          "executable query accesses a method with an unbound input (the "
+          "proof it came from was not eager)");
+    }
+    inputs.push_back(*v);
+  }
+  // Copy: recursion below re-enters the source, which may rehash its
+  // internal structures.
+  const std::vector<Tuple> tuples = source.Access(query.method(), inputs);
+
+  if (query.kind() == ExecutableQuery::Kind::kExists) {
+    for (const Tuple& w : tuples) {
+      std::vector<ChaseTermId> newly_bound;
+      bool consistent = true;
+      for (size_t i = 0; i < w.size() && consistent; ++i) {
+        ChaseTermId t = query.fact_terms()[i];
+        const Value* v = Resolve(t, binding, arena);
+        if (v != nullptr) {
+          consistent = (*v == w[i]);
+        } else {
+          binding.emplace(t, w[i]);
+          newly_bound.push_back(t);
+        }
+      }
+      bool accepted = false;
+      if (consistent) {
+        LCP_ASSIGN_OR_RETURN(accepted,
+                             EvalRec(*query.next(), source, arena, binding));
+      }
+      for (ChaseTermId t : newly_bound) binding.erase(t);
+      if (accepted) return true;
+    }
+    return false;
+  }
+
+  // kForall: every returned tuple that joins with the binding must satisfy
+  // the continuation; tuples that conflict are skipped (they witness other
+  // facts). If nothing joins the node is vacuously true.
+  for (const Tuple& w : tuples) {
+    std::vector<ChaseTermId> newly_bound;
+    bool consistent = true;
+    for (size_t i = 0; i < w.size() && consistent; ++i) {
+      ChaseTermId t = query.fact_terms()[i];
+      const Value* v = Resolve(t, binding, arena);
+      if (v != nullptr) {
+        consistent = (*v == w[i]);
+      } else {
+        binding.emplace(t, w[i]);
+        newly_bound.push_back(t);
+      }
+    }
+    bool accepted = true;
+    Status failure = Status::Ok();
+    if (consistent) {
+      auto result = EvalRec(*query.next(), source, arena, binding);
+      if (!result.ok()) {
+        failure = result.status();
+      } else {
+        accepted = *result;
+      }
+    }
+    for (ChaseTermId t : newly_bound) binding.erase(t);
+    if (!failure.ok()) return failure;
+    if (consistent && !accepted) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<bool> EvaluateExecutable(const ExecutableQuery& query,
+                                SimulatedSource& source,
+                                const TermArena& arena) {
+  TermBinding binding;
+  return EvalRec(query, source, arena, binding);
+}
+
+namespace {
+
+/// State threaded through compilation: the plan under construction and a
+/// counter for fresh table names.
+struct Compiler {
+  const Schema& schema;
+  const TermArena& arena;
+  Plan plan;
+  int counter = 0;
+
+  std::string Fresh(const char* stem) {
+    return StrCat("n", counter++, "_", stem);
+  }
+
+  /// Emits the access + fact-table commands shared by ∃ and ∀ nodes.
+  /// Returns the fact table name and its attributes (the fact's distinct
+  /// nulls, named by display name).
+  Result<std::pair<std::string, std::vector<std::string>>> EmitAccess(
+      const ExecutableQuery& node, const std::string& current,
+      const std::vector<std::string>& attrs) {
+    const AccessMethod& method = schema.access_method(node.method());
+    const Relation& rel = schema.relation(method.relation);
+
+    AccessCommand access;
+    access.method = node.method();
+    access.output_table = Fresh("raw");
+    for (int i = 0; i < rel.arity; ++i) {
+      access.output_columns.emplace_back(StrCat("#p", i), i);
+    }
+    std::vector<std::string> input_attrs;
+    for (int pos : method.input_positions) {
+      ChaseTermId t = node.fact_terms()[pos];
+      if (TermArena::IsConstant(t)) {
+        access.constant_inputs.emplace_back(pos, arena.ConstantOf(t));
+        continue;
+      }
+      std::string attr = arena.DisplayName(t);
+      if (std::find(attrs.begin(), attrs.end(), attr) == attrs.end()) {
+        return FailedPreconditionError(
+            StrCat("input term ", attr, " not bound before access to ",
+                   method.name));
+      }
+      access.input_binding.emplace_back(attr, pos);
+      if (std::find(input_attrs.begin(), input_attrs.end(), attr) ==
+          input_attrs.end()) {
+        input_attrs.push_back(attr);
+      }
+    }
+    if (!input_attrs.empty()) {
+      access.input = RaExpr::Project(RaExpr::TempScan(current), input_attrs);
+    }
+    std::string raw = access.output_table;
+    plan.commands.push_back(std::move(access));
+
+    // Shape the raw table into the fact's columns.
+    RaExprPtr expr = RaExpr::TempScan(raw);
+    std::vector<RaExpr::Condition> conds;
+    std::unordered_map<ChaseTermId, int> first_pos;
+    std::vector<std::pair<std::string, std::string>> renames;
+    std::vector<std::string> fact_attrs;
+    for (int i = 0; i < rel.arity; ++i) {
+      ChaseTermId t = node.fact_terms()[i];
+      std::string col = StrCat("#p", i);
+      if (TermArena::IsConstant(t)) {
+        conds.push_back(
+            RaExpr::Condition::AttrEqConst(col, arena.ConstantOf(t)));
+        continue;
+      }
+      auto it = first_pos.find(t);
+      if (it != first_pos.end()) {
+        conds.push_back(
+            RaExpr::Condition::AttrEqAttr(col, StrCat("#p", it->second)));
+      } else {
+        first_pos.emplace(t, i);
+        renames.emplace_back(col, arena.DisplayName(t));
+        fact_attrs.push_back(arena.DisplayName(t));
+      }
+    }
+    if (!conds.empty()) expr = RaExpr::Select(std::move(expr), std::move(conds));
+    if (!renames.empty()) {
+      expr = RaExpr::Rename(std::move(expr), std::move(renames));
+    }
+    expr = RaExpr::Project(std::move(expr), fact_attrs);
+    std::string fact_table = Fresh("fact");
+    plan.commands.push_back(QueryCommand{fact_table, std::move(expr)});
+    return std::make_pair(fact_table, fact_attrs);
+  }
+
+  /// Compiles `node` relative to the current accepted-rows table; returns
+  /// the name of the table holding the rows of `current` that the node
+  /// accepts (same attributes as `current`).
+  Result<std::string> Compile(const ExecutableQuery& node,
+                              const std::string& current,
+                              const std::vector<std::string>& attrs) {
+    if (node.kind() == ExecutableQuery::Kind::kTrue) return current;
+
+    LCP_ASSIGN_OR_RETURN(auto fact, EmitAccess(node, current, attrs));
+    const auto& [fact_table, fact_attrs] = fact;
+
+    if (node.kind() == ExecutableQuery::Kind::kExists) {
+      // Extend the current rows with the matching source tuples, accept
+      // recursively, then project back.
+      std::string extended = Fresh("ext");
+      plan.commands.push_back(QueryCommand{
+          extended, RaExpr::Join(RaExpr::TempScan(current),
+                                 RaExpr::TempScan(fact_table))});
+      std::vector<std::string> extended_attrs = attrs;
+      for (const std::string& attr : fact_attrs) {
+        if (std::find(extended_attrs.begin(), extended_attrs.end(), attr) ==
+            extended_attrs.end()) {
+          extended_attrs.push_back(attr);
+        }
+      }
+      LCP_ASSIGN_OR_RETURN(std::string accepted,
+                           Compile(*node.next(), extended, extended_attrs));
+      std::string projected = Fresh("acc");
+      plan.commands.push_back(QueryCommand{
+          projected, RaExpr::Project(RaExpr::TempScan(accepted), attrs)});
+      return projected;
+    }
+
+    // kForall: rows whose fact is absent pass vacuously (difference);
+    // rows whose fact is present must pass the continuation (union). This
+    // compilation requires the fact to be fully bound by `attrs` (the
+    // AcSch¬ case); a ∀-access binding fresh terms (possible with AcSch↔
+    // proofs) would need relational division — evaluate such queries
+    // directly instead.
+    for (const std::string& attr : fact_attrs) {
+      if (std::find(attrs.begin(), attrs.end(), attr) == attrs.end()) {
+        return UnimplementedError(
+            StrCat("universal access binds fresh term ", attr,
+                   "; compile requires ground foralls (use "
+                   "EvaluateExecutable)"));
+      }
+    }
+    std::string matched = Fresh("match");
+    plan.commands.push_back(QueryCommand{
+        matched,
+        RaExpr::Project(RaExpr::Join(RaExpr::TempScan(current),
+                                     RaExpr::TempScan(fact_table)),
+                        attrs)});
+    std::string vacuous = Fresh("vac");
+    plan.commands.push_back(QueryCommand{
+        vacuous, RaExpr::Difference(RaExpr::TempScan(current),
+                                    RaExpr::TempScan(matched))});
+    LCP_ASSIGN_OR_RETURN(std::string accepted,
+                         Compile(*node.next(), matched, attrs));
+    std::string combined = Fresh("acc");
+    plan.commands.push_back(QueryCommand{
+        combined, RaExpr::Union(RaExpr::TempScan(vacuous),
+                                RaExpr::TempScan(accepted))});
+    return combined;
+  }
+};
+
+}  // namespace
+
+Result<Plan> CompileExecutable(const ExecutableQuery& query,
+                               const Schema& schema, const TermArena& arena) {
+  Compiler compiler{schema, arena, Plan{}, 0};
+  // Boolean plans start from the one-row nullary table.
+  std::string start = compiler.Fresh("start");
+  compiler.plan.commands.push_back(QueryCommand{start, RaExpr::Singleton()});
+  LCP_ASSIGN_OR_RETURN(std::string accepted,
+                       compiler.Compile(query, start, {}));
+  compiler.plan.output_table = std::move(accepted);
+  return std::move(compiler.plan);
+}
+
+}  // namespace lcp

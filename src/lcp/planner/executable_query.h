@@ -1,0 +1,82 @@
+#ifndef LCP_PLANNER_EXECUTABLE_QUERY_H_
+#define LCP_PLANNER_EXECUTABLE_QUERY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/chase/fact.h"
+#include "lcp/chase/term_arena.h"
+#include "lcp/plan/plan.h"
+#include "lcp/runtime/source.h"
+
+namespace lcp {
+
+/// An executable FO query in the sense of §3/Theorem 7: a chain of
+/// access-guarded quantifiers ending in True. Each node carries the chase
+/// fact R(c⃗) its proof step exposed; at evaluation time the bound chase
+/// terms supply the access inputs and the returned tuples bind (∃) or
+/// constrain (∀) the remaining terms.
+///
+/// This is the output language of the backward-induction algorithm of §4
+/// ("RA-plans for schemas with TGDs"): positive accessibility firings
+/// become ∃-access nodes, negative firings become ∀-access nodes.
+class ExecutableQuery {
+ public:
+  enum class Kind {
+    kTrue,    ///< The empty continuation: always true.
+    kExists,  ///< ∃w (access returns w unifying with the fact) ∧ next.
+    kForall,  ///< ∀w (access returns w joining the binding) → next.
+  };
+
+  static std::shared_ptr<const ExecutableQuery> True();
+  static std::shared_ptr<const ExecutableQuery> Exists(
+      AccessMethodId method, std::vector<ChaseTermId> fact_terms,
+      std::shared_ptr<const ExecutableQuery> next);
+  static std::shared_ptr<const ExecutableQuery> Forall(
+      AccessMethodId method, std::vector<ChaseTermId> fact_terms,
+      std::shared_ptr<const ExecutableQuery> next);
+
+  Kind kind() const { return kind_; }
+  AccessMethodId method() const { return method_; }
+  const std::vector<ChaseTermId>& fact_terms() const { return fact_terms_; }
+  const std::shared_ptr<const ExecutableQuery>& next() const { return next_; }
+
+  /// Number of access nodes in the chain.
+  int depth() const;
+  /// True if the chain contains a ∀-access (i.e. the compiled plan needs
+  /// the difference operator: USPJ¬ instead of SPJ).
+  bool HasForall() const;
+
+  std::string ToString(const Schema& schema, const TermArena& arena) const;
+
+ private:
+  explicit ExecutableQuery(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  AccessMethodId method_ = kInvalidAccessMethod;
+  std::vector<ChaseTermId> fact_terms_;
+  std::shared_ptr<const ExecutableQuery> next_;
+};
+
+using ExecutableQueryPtr = std::shared_ptr<const ExecutableQuery>;
+
+/// Evaluates a boolean executable query against a source by making the
+/// accesses top-down (Proposition 1 semantics). `arena` resolves constants
+/// among the fact terms; labeled nulls start unbound.
+Result<bool> EvaluateExecutable(const ExecutableQuery& query,
+                                SimulatedSource& source,
+                                const TermArena& arena);
+
+/// Compiles a boolean executable query into a plan (Proposition 1): pure-∃
+/// chains yield SPJ plans; chains with ∀-accesses yield USPJ¬ plans where
+/// each universal step accepts rows whose fact is absent from the source
+/// (difference) or whose continuation accepts them (union). The plan's
+/// output is the boolean convention (non-empty nullary table = true).
+Result<Plan> CompileExecutable(const ExecutableQuery& query,
+                               const Schema& schema, const TermArena& arena);
+
+}  // namespace lcp
+
+#endif  // LCP_PLANNER_EXECUTABLE_QUERY_H_

@@ -1,0 +1,62 @@
+#ifndef LCP_PLANNER_NEGATION_SEARCH_H_
+#define LCP_PLANNER_NEGATION_SEARCH_H_
+
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/result.h"
+#include "lcp/chase/engine.h"
+#include "lcp/planner/executable_query.h"
+
+namespace lcp {
+
+/// One recorded firing of an AcSch¬ chase proof (§4, "Algorithm
+/// Description"): a positive accessibility firing exposing a base fact, or
+/// a negative accessibility firing exposing an inferred-accessible fact
+/// (adding its base version to the configuration).
+struct NegProofStep {
+  bool negative = false;
+  AccessMethodId method = kInvalidAccessMethod;
+  /// The base-relation fact (terms over the shared arena).
+  Fact fact;
+};
+
+struct NegSearchOptions {
+  /// Maximum accessibility firings in a proof.
+  int max_steps = 6;
+  /// Node budget for the DFS.
+  int max_nodes = 50000;
+  /// Chase control for the closure after each firing.
+  ChaseOptions closure_chase;
+};
+
+struct NegProofOutcome {
+  std::vector<NegProofStep> steps;
+  /// The executable FO query read off the proof by backward induction
+  /// (Theorem 7). Pure-∃ proofs give ∃-chains; negative firings give
+  /// ∀-nodes (USPJ¬ when compiled).
+  ExecutableQueryPtr query;
+  int nodes_explored = 0;
+};
+
+/// Searches for a chase proof of InferredAccQ from the boolean query Q
+/// using the AcSch¬ axioms (Theorem 3: positive accessibility firings plus
+/// negative firings requiring every position accessible) or the AcSch↔
+/// axioms (Theorem 2: bidirectional firings keyed on a method's input
+/// positions), and translates the first proof found into an executable
+/// query via the backward-induction algorithm of §4. The accessible schema
+/// selects the axiom system (kNegative or kBidirectional).
+///
+/// `arena` supplies the chase terms and must outlive the outcome (the
+/// executable query's terms point into it). Note: AcSch↔ proofs can yield
+/// ∀-accesses that bind fresh terms; those evaluate directly
+/// (EvaluateExecutable) but require division to compile to a static plan —
+/// CompileExecutable reports UNIMPLEMENTED for them.
+Result<NegProofOutcome> FindNegativeProof(const AccessibleSchema& accessible,
+                                          const ConjunctiveQuery& query,
+                                          const NegSearchOptions& options,
+                                          TermArena& arena);
+
+}  // namespace lcp
+
+#endif  // LCP_PLANNER_NEGATION_SEARCH_H_

@@ -1,0 +1,114 @@
+#ifndef LCP_PLANNER_PROOF_SEARCH_H_
+#define LCP_PLANNER_PROOF_SEARCH_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/result.h"
+#include "lcp/chase/engine.h"
+#include "lcp/plan/cost.h"
+#include "lcp/plan/plan.h"
+
+namespace lcp {
+
+/// Candidate-selection policy (§5, "Search order"): which candidate fact /
+/// method pair to expose first at a node.
+enum class CandidateOrder {
+  /// Minimal derivation depth first (fact insertion order), then cheapest
+  /// method. The default.
+  kDerivationDepth,
+  /// Input-free methods before input-requiring ones (the heuristic used in
+  /// the paper's Figure 1 walkthrough, which explores all directory sources
+  /// before the checking access), then derivation depth.
+  kFreeAccessFirst,
+};
+
+/// Options for Algorithm 1 (§5): cost-guided depth-first exploration of
+/// chase proofs, generating SPJ plans directly from the proofs.
+struct SearchOptions {
+  /// The threshold d: maximum number of access commands per plan.
+  int max_access_commands = 6;
+  /// Abort a branch whose partial plan already costs at least as much as the
+  /// best complete plan (sound for monotone cost functions).
+  bool prune_by_cost = true;
+  /// Abort a node dominated by an existing node: the existing configuration
+  /// has "at least as many useful facts" (a homomorphism over base +
+  /// InferredAcc + accessible facts, fixing the query's free-variable
+  /// constants) at no higher cost (§5, "Optimizations").
+  bool prune_by_dominance = true;
+  /// Stop at the first successful proof (plan existence check / Theorem 5
+  /// mode) instead of exhausting the space.
+  bool stop_at_first_plan = false;
+  /// Record every successful plan, not just the cheapest.
+  bool keep_all_plans = false;
+  /// Hard cap on created search nodes.
+  int max_nodes = 100000;
+  /// Chase control for the root closure (original constraints, §5 "Original
+  /// Schema Reasoning First") and the per-node closures (inferred
+  /// accessible copies, "Fire Inferred Accessible Rules Immediately").
+  ChaseOptions root_chase;
+  ChaseOptions closure_chase;
+  /// Record one human-readable line per node (Figure 1 style dumps).
+  bool collect_exploration_log = false;
+  CandidateOrder candidate_order = CandidateOrder::kDerivationDepth;
+};
+
+struct SearchStats {
+  int nodes_created = 0;
+  int nodes_expanded = 0;
+  int successes = 0;
+  int pruned_cost = 0;
+  int pruned_dominance = 0;
+  int depth_limited = 0;
+  int root_chase_firings = 0;
+  int closure_firings = 0;
+};
+
+struct FoundPlan {
+  Plan plan;
+  double cost = 0;
+};
+
+struct SearchOutcome {
+  /// The cheapest complete plan found, if any.
+  std::optional<FoundPlan> best;
+  /// Every complete plan found (only if keep_all_plans).
+  std::vector<FoundPlan> all_plans;
+  SearchStats stats;
+  std::vector<std::string> exploration_log;
+};
+
+/// Algorithm 1 of the paper: searches the space of eager chase proofs that
+/// Q entails InferredAccQ over AcSch(S0), maintaining for every proof node
+/// the SPJ plan read off the proof (§4) and its cost, and returns the
+/// lowest-cost plan within the access budget.
+///
+/// Constants appearing in the query are treated as schema constants
+/// (accessible from the start), per the paper's convention.
+class ProofSearch {
+ public:
+  /// `accessible` and `cost` must outlive the search. The cost function must
+  /// be monotone if prune_by_cost is enabled.
+  ProofSearch(const AccessibleSchema* accessible, const CostFunction* cost);
+
+  /// Runs the search for `query` (a CQ over the base schema).
+  Result<SearchOutcome> Run(const ConjunctiveQuery& query,
+                            const SearchOptions& options);
+
+ private:
+  const AccessibleSchema* accessible_;
+  const CostFunction* cost_;
+};
+
+/// Convenience wrapper: returns a (not necessarily optimal) plan for the
+/// query if one exists within the access budget — the effective content of
+/// Theorem 5 — or NOT_FOUND.
+Result<FoundPlan> FindAnyPlan(const AccessibleSchema& accessible,
+                              const ConjunctiveQuery& query,
+                              int max_access_commands);
+
+}  // namespace lcp
+
+#endif  // LCP_PLANNER_PROOF_SEARCH_H_

@@ -1,0 +1,215 @@
+#include "lcp/ra/eval.h"
+
+#include <algorithm>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+Result<Table> EvalProject(Table input, const std::vector<std::string>& attrs) {
+  std::vector<int> indexes;
+  for (const std::string& attr : attrs) {
+    int idx = input.AttrIndex(attr);
+    if (idx < 0) {
+      return InvalidArgumentError(
+          StrCat("project: attribute ", attr, " not found"));
+    }
+    indexes.push_back(idx);
+  }
+  Table out(attrs);
+  for (const Tuple& row : input.rows()) {
+    Tuple projected;
+    projected.reserve(indexes.size());
+    for (int idx : indexes) projected.push_back(row[idx]);
+    out.Insert(std::move(projected));
+  }
+  return out;
+}
+
+Result<Table> EvalSelect(Table input,
+                         const std::vector<RaExpr::Condition>& conditions) {
+  struct ResolvedCondition {
+    bool attr_eq_attr;
+    int lhs;
+    int rhs;
+    Value constant;
+  };
+  std::vector<ResolvedCondition> resolved;
+  for (const RaExpr::Condition& c : conditions) {
+    ResolvedCondition r;
+    r.lhs = input.AttrIndex(c.lhs);
+    if (r.lhs < 0) {
+      return InvalidArgumentError(
+          StrCat("select: attribute ", c.lhs, " not found"));
+    }
+    if (c.kind == RaExpr::Condition::Kind::kAttrEqAttr) {
+      r.attr_eq_attr = true;
+      r.rhs = input.AttrIndex(c.rhs_attr);
+      if (r.rhs < 0) {
+        return InvalidArgumentError(
+            StrCat("select: attribute ", c.rhs_attr, " not found"));
+      }
+    } else {
+      r.attr_eq_attr = false;
+      r.rhs = -1;
+      r.constant = c.rhs_const;
+    }
+    resolved.push_back(std::move(r));
+  }
+  Table out(input.attrs());
+  for (const Tuple& row : input.rows()) {
+    bool keep = true;
+    for (const ResolvedCondition& r : resolved) {
+      if (r.attr_eq_attr ? (row[r.lhs] != row[r.rhs])
+                         : (row[r.lhs] != r.constant)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.Insert(row);
+  }
+  return out;
+}
+
+/// Hash join on the shared attributes; degenerates to a cross product when
+/// none are shared (as natural join should).
+Result<Table> EvalJoin(const Table& left, const Table& right) {
+  std::vector<std::pair<int, int>> shared;  // (left idx, right idx)
+  std::vector<int> right_extra;             // right attrs not in left
+  for (size_t j = 0; j < right.attrs().size(); ++j) {
+    int li = left.AttrIndex(right.attrs()[j]);
+    if (li >= 0) {
+      shared.emplace_back(li, static_cast<int>(j));
+    } else {
+      right_extra.push_back(static_cast<int>(j));
+    }
+  }
+  std::vector<std::string> out_attrs = left.attrs();
+  for (int j : right_extra) out_attrs.push_back(right.attrs()[j]);
+  Table out(std::move(out_attrs));
+
+  // Build a hash index on the right side keyed by the shared attributes.
+  std::unordered_map<Tuple, std::vector<int>, TupleHash> index;
+  for (size_t r = 0; r < right.rows().size(); ++r) {
+    Tuple key;
+    key.reserve(shared.size());
+    for (const auto& [li, rj] : shared) key.push_back(right.rows()[r][rj]);
+    index[std::move(key)].push_back(static_cast<int>(r));
+  }
+  for (const Tuple& lrow : left.rows()) {
+    Tuple key;
+    key.reserve(shared.size());
+    for (const auto& [li, rj] : shared) key.push_back(lrow[li]);
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (int r : it->second) {
+      Tuple row = lrow;
+      for (int j : right_extra) row.push_back(right.rows()[r][j]);
+      out.Insert(std::move(row));
+    }
+  }
+  return out;
+}
+
+/// Returns the permutation mapping `from` attribute order to `to`, or an
+/// error if the attribute sets differ.
+Result<std::vector<int>> AlignAttrs(const std::vector<std::string>& to,
+                                    const Table& from) {
+  if (to.size() != from.attrs().size()) {
+    return InvalidArgumentError("union/difference: attribute sets differ");
+  }
+  std::vector<int> perm;
+  for (const std::string& attr : to) {
+    int idx = from.AttrIndex(attr);
+    if (idx < 0) {
+      return InvalidArgumentError(
+          StrCat("union/difference: attribute ", attr, " missing"));
+    }
+    perm.push_back(idx);
+  }
+  return perm;
+}
+
+}  // namespace
+
+Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env) {
+  switch (expr.op()) {
+    case RaExpr::Op::kTempScan: {
+      auto it = env.find(expr.table());
+      if (it == env.end()) {
+        return NotFoundError(StrCat("no temporary table ", expr.table()));
+      }
+      return it->second;
+    }
+    case RaExpr::Op::kSingleton: {
+      Table out{std::vector<std::string>{}};
+      out.Insert(Tuple{});
+      return out;
+    }
+    case RaExpr::Op::kProject: {
+      LCP_ASSIGN_OR_RETURN(Table child, EvaluateRa(*expr.children()[0], env));
+      return EvalProject(std::move(child), expr.attrs());
+    }
+    case RaExpr::Op::kSelect: {
+      LCP_ASSIGN_OR_RETURN(Table child, EvaluateRa(*expr.children()[0], env));
+      return EvalSelect(std::move(child), expr.conditions());
+    }
+    case RaExpr::Op::kJoin: {
+      LCP_ASSIGN_OR_RETURN(Table left, EvaluateRa(*expr.children()[0], env));
+      LCP_ASSIGN_OR_RETURN(Table right, EvaluateRa(*expr.children()[1], env));
+      return EvalJoin(left, right);
+    }
+    case RaExpr::Op::kUnion: {
+      LCP_ASSIGN_OR_RETURN(Table left, EvaluateRa(*expr.children()[0], env));
+      LCP_ASSIGN_OR_RETURN(Table right, EvaluateRa(*expr.children()[1], env));
+      LCP_ASSIGN_OR_RETURN(std::vector<int> perm,
+                           AlignAttrs(left.attrs(), right));
+      Table out = left;
+      for (const Tuple& row : right.rows()) {
+        Tuple aligned;
+        aligned.reserve(perm.size());
+        for (int idx : perm) aligned.push_back(row[idx]);
+        out.Insert(std::move(aligned));
+      }
+      return out;
+    }
+    case RaExpr::Op::kDifference: {
+      LCP_ASSIGN_OR_RETURN(Table left, EvaluateRa(*expr.children()[0], env));
+      LCP_ASSIGN_OR_RETURN(Table right, EvaluateRa(*expr.children()[1], env));
+      LCP_ASSIGN_OR_RETURN(std::vector<int> perm,
+                           AlignAttrs(left.attrs(), right));
+      Table negatives(left.attrs());
+      for (const Tuple& row : right.rows()) {
+        Tuple aligned;
+        aligned.reserve(perm.size());
+        for (int idx : perm) aligned.push_back(row[idx]);
+        negatives.Insert(std::move(aligned));
+      }
+      Table out(left.attrs());
+      for (const Tuple& row : left.rows()) {
+        if (!negatives.ContainsRow(row)) out.Insert(row);
+      }
+      return out;
+    }
+    case RaExpr::Op::kRename: {
+      LCP_ASSIGN_OR_RETURN(Table child, EvaluateRa(*expr.children()[0], env));
+      std::vector<std::string> attrs = child.attrs();
+      for (const auto& [from, to] : expr.renames()) {
+        int idx = child.AttrIndex(from);
+        if (idx < 0) {
+          return InvalidArgumentError(
+              StrCat("rename: attribute ", from, " not found"));
+        }
+        attrs[idx] = to;
+      }
+      Table out(std::move(attrs));
+      for (const Tuple& row : child.rows()) out.Insert(row);
+      return out;
+    }
+  }
+  return InternalError("unreachable RA op");
+}
+
+}  // namespace lcp

@@ -1,0 +1,23 @@
+#ifndef LCP_RA_EVAL_H_
+#define LCP_RA_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "lcp/base/result.h"
+#include "lcp/ra/expr.h"
+#include "lcp/ra/table.h"
+
+namespace lcp {
+
+/// The middleware environment: temporary tables by name.
+using TableEnv = std::unordered_map<std::string, Table>;
+
+/// Evaluates `expr` against `env` with set semantics. Fails on references
+/// to missing tables/attributes or on union/difference over mismatched
+/// attribute sets.
+Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env);
+
+}  // namespace lcp
+
+#endif  // LCP_RA_EVAL_H_

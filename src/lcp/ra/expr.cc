@@ -1,0 +1,145 @@
+#include "lcp/ra/expr.h"
+
+#include <sstream>
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+RaExpr::Condition RaExpr::Condition::AttrEqAttr(std::string a, std::string b) {
+  Condition c;
+  c.kind = Kind::kAttrEqAttr;
+  c.lhs = std::move(a);
+  c.rhs_attr = std::move(b);
+  return c;
+}
+
+RaExpr::Condition RaExpr::Condition::AttrEqConst(std::string a, Value v) {
+  Condition c;
+  c.kind = Kind::kAttrEqConst;
+  c.lhs = std::move(a);
+  c.rhs_const = std::move(v);
+  return c;
+}
+
+RaExprPtr RaExpr::TempScan(std::string table) {
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kTempScan));
+  expr->table_ = std::move(table);
+  return expr;
+}
+
+RaExprPtr RaExpr::Project(RaExprPtr child, std::vector<std::string> attrs) {
+  LCP_CHECK(child != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kProject));
+  expr->children_ = {std::move(child)};
+  expr->attrs_ = std::move(attrs);
+  return expr;
+}
+
+RaExprPtr RaExpr::Select(RaExprPtr child, std::vector<Condition> conditions) {
+  LCP_CHECK(child != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kSelect));
+  expr->children_ = {std::move(child)};
+  expr->conditions_ = std::move(conditions);
+  return expr;
+}
+
+RaExprPtr RaExpr::Join(RaExprPtr left, RaExprPtr right) {
+  LCP_CHECK(left != nullptr && right != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kJoin));
+  expr->children_ = {std::move(left), std::move(right)};
+  return expr;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr left, RaExprPtr right) {
+  LCP_CHECK(left != nullptr && right != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kUnion));
+  expr->children_ = {std::move(left), std::move(right)};
+  return expr;
+}
+
+RaExprPtr RaExpr::Difference(RaExprPtr left, RaExprPtr right) {
+  LCP_CHECK(left != nullptr && right != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kDifference));
+  expr->children_ = {std::move(left), std::move(right)};
+  return expr;
+}
+
+RaExprPtr RaExpr::Rename(
+    RaExprPtr child, std::vector<std::pair<std::string, std::string>> renames) {
+  LCP_CHECK(child != nullptr);
+  auto expr = std::shared_ptr<RaExpr>(new RaExpr(Op::kRename));
+  expr->children_ = {std::move(child)};
+  expr->renames_ = std::move(renames);
+  return expr;
+}
+
+RaExprPtr RaExpr::Singleton() {
+  return std::shared_ptr<RaExpr>(new RaExpr(Op::kSingleton));
+}
+
+namespace {
+void CollectTables(const RaExpr& expr, std::vector<std::string>& out) {
+  if (expr.op() == RaExpr::Op::kTempScan) out.push_back(expr.table());
+  for (const RaExprPtr& child : expr.children()) CollectTables(*child, out);
+}
+}  // namespace
+
+std::vector<std::string> RaExpr::ReferencedTables() const {
+  std::vector<std::string> tables;
+  CollectTables(*this, tables);
+  return tables;
+}
+
+bool RaExpr::Uses(Op op) const {
+  if (op_ == op) return true;
+  for (const RaExprPtr& child : children_) {
+    if (child->Uses(op)) return true;
+  }
+  return false;
+}
+
+std::string RaExpr::ToString() const {
+  switch (op_) {
+    case Op::kTempScan:
+      return StrCat("scan(", table_, ")");
+    case Op::kProject:
+      return StrCat("project[", StrJoin(attrs_, ","), "](",
+                    children_[0]->ToString(), ")");
+    case Op::kSelect: {
+      std::vector<std::string> conds;
+      for (const Condition& c : conditions_) {
+        if (c.kind == Condition::Kind::kAttrEqAttr) {
+          conds.push_back(StrCat(c.lhs, "=", c.rhs_attr));
+        } else {
+          conds.push_back(StrCat(c.lhs, "=", c.rhs_const.ToString()));
+        }
+      }
+      return StrCat("select[", StrJoin(conds, " & "), "](",
+                    children_[0]->ToString(), ")");
+    }
+    case Op::kJoin:
+      return StrCat("(", children_[0]->ToString(), " join ",
+                    children_[1]->ToString(), ")");
+    case Op::kUnion:
+      return StrCat("(", children_[0]->ToString(), " union ",
+                    children_[1]->ToString(), ")");
+    case Op::kDifference:
+      return StrCat("(", children_[0]->ToString(), " minus ",
+                    children_[1]->ToString(), ")");
+    case Op::kRename: {
+      std::vector<std::string> pairs;
+      for (const auto& [from, to] : renames_) {
+        pairs.push_back(StrCat(from, "->", to));
+      }
+      return StrCat("rename[", StrJoin(pairs, ","), "](",
+                    children_[0]->ToString(), ")");
+    }
+    case Op::kSingleton:
+      return "singleton()";
+  }
+  return "?";
+}
+
+}  // namespace lcp

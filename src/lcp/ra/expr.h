@@ -1,0 +1,88 @@
+#ifndef LCP_RA_EXPR_H_
+#define LCP_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lcp/logic/value.h"
+
+namespace lcp {
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// A relational algebra expression over temporary tables (§2: the
+/// expressions appearing in access and middleware query commands). Join is
+/// natural join on shared attribute names; Union/Difference align operands
+/// by attribute name.
+class RaExpr {
+ public:
+  enum class Op {
+    kTempScan,    ///< Scan a temporary table by name.
+    kProject,     ///< Keep `attrs`, in order (duplicates removed upstream).
+    kSelect,      ///< Filter by conjunctive conditions.
+    kJoin,        ///< Natural join of the two children.
+    kUnion,       ///< Set union (same attribute set).
+    kDifference,  ///< Set difference (same attribute set).
+    kRename,      ///< Rename attributes (old -> new pairs).
+    kSingleton,   ///< Nullary table with exactly one (empty) row.
+  };
+
+  /// One conjunct of a selection: attr = attr, or attr = constant.
+  struct Condition {
+    enum class Kind { kAttrEqAttr, kAttrEqConst };
+    Kind kind = Kind::kAttrEqConst;
+    std::string lhs;
+    std::string rhs_attr;
+    Value rhs_const;
+
+    static Condition AttrEqAttr(std::string a, std::string b);
+    static Condition AttrEqConst(std::string a, Value v);
+  };
+
+  // Factories (the only way to build expressions).
+  static RaExprPtr TempScan(std::string table);
+  static RaExprPtr Project(RaExprPtr child, std::vector<std::string> attrs);
+  static RaExprPtr Select(RaExprPtr child, std::vector<Condition> conditions);
+  static RaExprPtr Join(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Difference(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Rename(
+      RaExprPtr child,
+      std::vector<std::pair<std::string, std::string>> renames);
+  static RaExprPtr Singleton();
+
+  Op op() const { return op_; }
+  const std::string& table() const { return table_; }
+  const std::vector<RaExprPtr>& children() const { return children_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  const std::vector<Condition>& conditions() const { return conditions_; }
+  const std::vector<std::pair<std::string, std::string>>& renames() const {
+    return renames_;
+  }
+
+  /// Names of the temporary tables scanned anywhere in the expression.
+  std::vector<std::string> ReferencedTables() const;
+
+  /// True if the expression (sub)tree uses the given operator.
+  bool Uses(Op op) const;
+
+  /// Compact one-line rendering, e.g. "project[eid_0](scan(t1))".
+  std::string ToString() const;
+
+ private:
+  explicit RaExpr(Op op) : op_(op) {}
+
+  Op op_;
+  std::string table_;
+  std::vector<RaExprPtr> children_;
+  std::vector<std::string> attrs_;
+  std::vector<Condition> conditions_;
+  std::vector<std::pair<std::string, std::string>> renames_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_RA_EXPR_H_

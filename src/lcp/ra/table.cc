@@ -1,0 +1,56 @@
+#include "lcp/ra/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lcp/base/check.h"
+
+namespace lcp {
+
+int Table::AttrIndex(const std::string& attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Table::Insert(Tuple row) {
+  LCP_CHECK_EQ(row.size(), attrs_.size()) << "row width mismatch";
+  if (!dedup_.insert(row).second) return false;
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(attrs_.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < attrs_.size(); ++i) widths[i] = attrs_[i].size();
+  for (const Tuple& row : rows_) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::ostringstream os;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    os << (i ? " | " : "") << attrs_[i]
+       << std::string(widths[i] - attrs_[i].size(), ' ');
+  }
+  os << "\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < line.size(); ++i) {
+      os << (i ? " | " : "") << line[i]
+         << std::string(widths[i] - line[i].size(), ' ');
+    }
+    os << "\n";
+  }
+  if (attrs_.empty()) {
+    os << (rows_.empty() ? "(empty nullary table)\n"
+                         : "(nullary table: one row)\n");
+  }
+  return os.str();
+}
+
+}  // namespace lcp

@@ -1,0 +1,46 @@
+#ifndef LCP_RA_TABLE_H_
+#define LCP_RA_TABLE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lcp/data/instance.h"
+
+namespace lcp {
+
+/// A temporary (middleware) table: named attributes plus a duplicate-free
+/// set of rows. Plans identify columns by attribute name; in proof-derived
+/// plans the attribute names are the display names of chase constants (§4).
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> attrs) : attrs_(std::move(attrs)) {}
+
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Index of `attr`, or -1 if absent.
+  int AttrIndex(const std::string& attr) const;
+
+  /// Inserts a row (set semantics); returns false on duplicate.
+  bool Insert(Tuple row);
+
+  bool ContainsRow(const Tuple& row) const {
+    return dedup_.find(row) != dedup_.end();
+  }
+
+  /// Renders an aligned ASCII table (for examples and debugging).
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> attrs_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> dedup_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_RA_TABLE_H_

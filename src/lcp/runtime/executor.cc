@@ -1,0 +1,164 @@
+#include "lcp/runtime/executor.h"
+
+#include <algorithm>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+/// Runs one access command; appends retrieved rows to env[output_table].
+Result<size_t> RunAccess(const AccessCommand& access, const Schema& schema,
+                         SimulatedSource& source, TableEnv& env) {
+  const AccessMethod& method = schema.access_method(access.method);
+  const int num_inputs = static_cast<int>(method.input_positions.size());
+
+  // Resolve where each input position gets its value: a column of the input
+  // expression or a constant.
+  std::vector<int> column_of(num_inputs, -1);
+  std::vector<Value> constant_of(num_inputs);
+  std::vector<bool> is_constant(num_inputs, false);
+
+  Table input_table;
+  if (access.input != nullptr) {
+    LCP_ASSIGN_OR_RETURN(input_table, EvaluateRa(*access.input, env));
+  }
+  for (const auto& [attr, pos] : access.input_binding) {
+    auto it = std::find(method.input_positions.begin(),
+                        method.input_positions.end(), pos);
+    if (it == method.input_positions.end()) {
+      return InvalidArgumentError(StrCat("plan binds position ", pos,
+                                         " which is not an input of ",
+                                         method.name));
+    }
+    int slot = static_cast<int>(it - method.input_positions.begin());
+    column_of[slot] = input_table.AttrIndex(attr);
+    if (column_of[slot] < 0) {
+      return InvalidArgumentError(
+          StrCat("input attribute ", attr, " missing for ", method.name));
+    }
+  }
+  for (const auto& [pos, value] : access.constant_inputs) {
+    auto it = std::find(method.input_positions.begin(),
+                        method.input_positions.end(), pos);
+    if (it == method.input_positions.end()) {
+      return InvalidArgumentError(StrCat("plan binds constant to position ",
+                                         pos, " which is not an input of ",
+                                         method.name));
+    }
+    int slot = static_cast<int>(it - method.input_positions.begin());
+    is_constant[slot] = true;
+    constant_of[slot] = value;
+  }
+  for (int slot = 0; slot < num_inputs; ++slot) {
+    if (!is_constant[slot] && column_of[slot] < 0) {
+      return InvalidArgumentError(
+          StrCat("input position ", method.input_positions[slot], " of ",
+                 method.name, " is unbound"));
+    }
+  }
+
+  // Distinct input bindings.
+  std::unordered_set<Tuple, TupleHash> bindings;
+  if (access.input != nullptr) {
+    for (const Tuple& row : input_table.rows()) {
+      Tuple binding(num_inputs);
+      for (int slot = 0; slot < num_inputs; ++slot) {
+        binding[slot] =
+            is_constant[slot] ? constant_of[slot] : row[column_of[slot]];
+      }
+      bindings.insert(std::move(binding));
+    }
+  } else {
+    Tuple binding(num_inputs);
+    for (int slot = 0; slot < num_inputs; ++slot) {
+      if (!is_constant[slot]) {
+        return InvalidArgumentError(
+            StrCat("access to ", method.name,
+                   " has no input expression but unbound inputs"));
+      }
+      binding[slot] = constant_of[slot];
+    }
+    bindings.insert(std::move(binding));
+  }
+
+  // Output table schema.
+  std::vector<std::string> out_attrs;
+  out_attrs.reserve(access.output_columns.size());
+  for (const auto& [attr, pos] : access.output_columns) {
+    out_attrs.push_back(attr);
+  }
+  Table& out = env.emplace(access.output_table, Table(out_attrs)).first->second;
+
+  size_t calls = 0;
+  for (const Tuple& binding : bindings) {
+    ++calls;
+    for (const Tuple& tuple : source.Access(access.method, binding)) {
+      bool keep = true;
+      for (const auto& [a, b] : access.position_equalities) {
+        if (tuple[a] != tuple[b]) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        for (const auto& [pos, value] : access.position_constants) {
+          if (tuple[pos] != value) {
+            keep = false;
+            break;
+          }
+        }
+      }
+      if (!keep) continue;
+      Tuple row;
+      row.reserve(access.output_columns.size());
+      for (const auto& [attr, pos] : access.output_columns) {
+        row.push_back(tuple[pos]);
+      }
+      out.Insert(std::move(row));
+    }
+  }
+  return calls;
+}
+
+}  // namespace
+
+Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
+                                    TableEnv* final_env) {
+  ExecutionResult result;
+  TableEnv env;
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      ++result.access_commands;
+      LCP_ASSIGN_OR_RETURN(
+          size_t calls, RunAccess(*access, source.schema(), source, env));
+      result.source_calls += calls;
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      LCP_ASSIGN_OR_RETURN(Table table, EvaluateRa(*query.expr, env));
+      env[query.output_table] = std::move(table);
+    }
+  }
+  auto it = env.find(plan.output_table);
+  if (it == env.end()) {
+    return InvalidArgumentError(
+        StrCat("plan output table ", plan.output_table, " never produced"));
+  }
+  if (!plan.output_attrs.empty()) {
+    LCP_ASSIGN_OR_RETURN(
+        result.output,
+        EvaluateRa(*RaExpr::Project(RaExpr::TempScan(plan.output_table),
+                                    plan.output_attrs),
+                   env));
+  } else {
+    // Boolean plan: output is the nullary projection (empty vs. non-empty).
+    Table boolean{std::vector<std::string>{}};
+    if (!it->second.empty()) boolean.Insert(Tuple{});
+    result.output = std::move(boolean);
+  }
+  if (final_env != nullptr) *final_env = std::move(env);
+  return result;
+}
+
+}  // namespace lcp

@@ -1,0 +1,32 @@
+#ifndef LCP_RUNTIME_EXECUTOR_H_
+#define LCP_RUNTIME_EXECUTOR_H_
+
+#include "lcp/base/result.h"
+#include "lcp/plan/plan.h"
+#include "lcp/ra/eval.h"
+#include "lcp/runtime/source.h"
+
+namespace lcp {
+
+/// Outcome of running a plan against a source.
+struct ExecutionResult {
+  /// The content of T_fin projected to the plan's output attributes; its
+  /// columns align position-wise with the query's free variables.
+  Table output;
+  int access_commands = 0;
+  /// Per-tuple source invocations made while executing (see
+  /// SimulatedSource accounting for distinct pairs / charged cost).
+  size_t source_calls = 0;
+};
+
+/// Executes `plan` against `source` (§2 semantics): commands run in
+/// sequence, temporary tables start empty, each access command feeds every
+/// distinct input tuple of its input expression into the method. If
+/// `final_env` is non-null it receives the temporary-table environment
+/// (useful in tests).
+Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
+                                    TableEnv* final_env = nullptr);
+
+}  // namespace lcp
+
+#endif  // LCP_RUNTIME_EXECUTOR_H_

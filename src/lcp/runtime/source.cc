@@ -1,0 +1,47 @@
+#include "lcp/runtime/source.h"
+
+#include "lcp/base/check.h"
+
+namespace lcp {
+
+SimulatedSource::SimulatedSource(const Schema* schema,
+                                 const Instance* instance)
+    : schema_(schema), instance_(instance) {
+  LCP_CHECK(schema != nullptr && instance != nullptr);
+  indexes_.resize(schema->num_access_methods());
+}
+
+void SimulatedSource::BuildIndex(AccessMethodId method) {
+  MethodIndex& index = indexes_[method];
+  if (index.built) return;
+  const AccessMethod& mt = schema_->access_method(method);
+  for (const Tuple& tuple : instance_->relation(mt.relation).tuples()) {
+    Tuple key;
+    key.reserve(mt.input_positions.size());
+    for (int pos : mt.input_positions) key.push_back(tuple[pos]);
+    index.by_key[std::move(key)].push_back(tuple);
+  }
+  index.built = true;
+}
+
+const std::vector<Tuple>& SimulatedSource::Access(AccessMethodId method,
+                                                  const Tuple& inputs) {
+  const AccessMethod& mt = schema_->access_method(method);
+  LCP_CHECK_EQ(inputs.size(), mt.input_positions.size())
+      << "access to " << mt.name << " with wrong number of inputs";
+  BuildIndex(method);
+  ++total_calls_;
+  charged_cost_ += mt.cost;
+  distinct_pairs_.insert(AccessPair{method, inputs});
+  auto it = indexes_[method].by_key.find(inputs);
+  if (it == indexes_[method].by_key.end()) return empty_result_;
+  return it->second;
+}
+
+void SimulatedSource::ResetAccounting() {
+  total_calls_ = 0;
+  charged_cost_ = 0;
+  distinct_pairs_.clear();
+}
+
+}  // namespace lcp

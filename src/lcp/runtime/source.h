@@ -1,0 +1,84 @@
+#ifndef LCP_RUNTIME_SOURCE_H_
+#define LCP_RUNTIME_SOURCE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "lcp/data/instance.h"
+#include "lcp/logic/ids.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// One concrete source invocation: a method plus the values bound to its
+/// input positions (in input-position order). Theorem 8 compares plans by
+/// the *set* of such pairs they trigger.
+struct AccessPair {
+  AccessMethodId method = kInvalidAccessMethod;
+  Tuple inputs;
+
+  friend bool operator==(const AccessPair& a, const AccessPair& b) {
+    return a.method == b.method && a.inputs == b.inputs;
+  }
+};
+
+struct AccessPairHash {
+  size_t operator()(const AccessPair& p) const {
+    return TupleHash()(p.inputs) ^
+           (static_cast<size_t>(p.method) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+using AccessPairSet = std::unordered_set<AccessPair, AccessPairHash>;
+
+/// Simulates a collection of restricted-interface data sources (web forms /
+/// services) over an in-memory instance: tuples of a relation can be
+/// retrieved *only* through an access method with all its input positions
+/// bound. Every invocation is metered.
+///
+/// This is the substitution for the paper's remote sources (see DESIGN.md):
+/// it preserves exactly the behaviour the paper's cost model observes —
+/// which (method, input) pairs are invoked and how often.
+class SimulatedSource {
+ public:
+  SimulatedSource(const Schema* schema, const Instance* instance);
+
+  /// Performs one access: all tuples of the method's relation whose input
+  /// positions equal `inputs` (given in input-position order). Meters the
+  /// call.
+  const std::vector<Tuple>& Access(AccessMethodId method, const Tuple& inputs);
+
+  const Schema& schema() const { return *schema_; }
+  const Instance& instance() const { return *instance_; }
+
+  // --- accounting ---------------------------------------------------------
+  size_t total_calls() const { return total_calls_; }
+  const AccessPairSet& distinct_pairs() const { return distinct_pairs_; }
+  /// Sum over calls of the invoked method's cost (a per-tuple-call metric;
+  /// the static simple cost function charges per command instead).
+  double charged_cost() const { return charged_cost_; }
+  void ResetAccounting();
+
+ private:
+  struct MethodIndex {
+    bool built = false;
+    std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> by_key;
+  };
+
+  void BuildIndex(AccessMethodId method);
+
+  const Schema* schema_;
+  const Instance* instance_;
+  std::vector<MethodIndex> indexes_;
+
+  size_t total_calls_ = 0;
+  double charged_cost_ = 0;
+  AccessPairSet distinct_pairs_;
+  std::vector<Tuple> empty_result_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_RUNTIME_SOURCE_H_

@@ -1,0 +1,103 @@
+#include "lcp/schema/parser.h"
+
+#include <cctype>
+#include <vector>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+std::string Strip(const std::string& s) {
+  size_t begin = 0, end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// Splits a conjunction on a separator occurring at paren depth 0.
+std::vector<std::string> SplitConjunction(const std::string& text,
+                                          char separator) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  bool in_string = false;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '"') in_string = !in_string;
+    if (in_string) continue;
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == separator && depth == 0) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  parts.push_back(text.substr(start));
+  return parts;
+}
+
+Result<std::vector<Atom>> ParseConjunction(const Schema& schema,
+                                           const std::string& text,
+                                           char separator) {
+  std::vector<Atom> atoms;
+  for (const std::string& piece : SplitConjunction(text, separator)) {
+    std::string trimmed = Strip(piece);
+    if (trimmed.empty()) {
+      return InvalidArgumentError(StrCat("empty conjunct in: ", text));
+    }
+    LCP_ASSIGN_OR_RETURN(Atom atom, schema.ParseAtom(trimmed));
+    atoms.push_back(std::move(atom));
+  }
+  return atoms;
+}
+
+}  // namespace
+
+Result<Tgd> ParseTgd(const Schema& schema, const std::string& text) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return InvalidArgumentError(StrCat("TGD missing '->': ", text));
+  }
+  Tgd tgd;
+  LCP_ASSIGN_OR_RETURN(tgd.body,
+                       ParseConjunction(schema, text.substr(0, arrow), '&'));
+  LCP_ASSIGN_OR_RETURN(tgd.head,
+                       ParseConjunction(schema, text.substr(arrow + 2), '&'));
+  LCP_RETURN_IF_ERROR(schema.ValidateTgd(tgd));
+  return tgd;
+}
+
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    const std::string& text) {
+  size_t sep = text.find(":-");
+  if (sep == std::string::npos) {
+    return InvalidArgumentError(StrCat("query missing ':-': ", text));
+  }
+  std::string head = Strip(text.substr(0, sep));
+  size_t open = head.find('(');
+  size_t close = head.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    return InvalidArgumentError(StrCat("malformed query head: ", head));
+  }
+  ConjunctiveQuery query;
+  query.name = Strip(head.substr(0, open));
+  std::string args = Strip(head.substr(open + 1, close - open - 1));
+  if (!args.empty()) {
+    for (const std::string& piece : SplitConjunction(args, ',')) {
+      query.free_variables.push_back(Strip(piece));
+    }
+  }
+  LCP_ASSIGN_OR_RETURN(query.atoms,
+                       ParseConjunction(schema, text.substr(sep + 2), ','));
+  LCP_RETURN_IF_ERROR(schema.ValidateQuery(query));
+  return query;
+}
+
+}  // namespace lcp

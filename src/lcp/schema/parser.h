@@ -1,0 +1,24 @@
+#ifndef LCP_SCHEMA_PARSER_H_
+#define LCP_SCHEMA_PARSER_H_
+
+#include <string>
+
+#include "lcp/base/result.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/tgd.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// Parses a TGD of the form "A(x,y) & B(y) -> C(x,z)" over `schema`.
+/// Variables in the head that do not occur in the body are existential.
+Result<Tgd> ParseTgd(const Schema& schema, const std::string& text);
+
+/// Parses a conjunctive query of the form "Q(x, y) :- A(x, z), B(z, y)".
+/// The head lists the free (answer) variables; "Q() :- ..." is boolean.
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    const std::string& text);
+
+}  // namespace lcp
+
+#endif  // LCP_SCHEMA_PARSER_H_

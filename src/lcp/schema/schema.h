@@ -1,0 +1,117 @@
+#ifndef LCP_SCHEMA_SCHEMA_H_
+#define LCP_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/base/status.h"
+#include "lcp/logic/atom.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/logic/ids.h"
+#include "lcp/logic/tgd.h"
+#include "lcp/logic/value.h"
+
+namespace lcp {
+
+/// A relation of the schema: a name and an arity. Positions are 0-based.
+struct Relation {
+  RelationId id = kInvalidRelation;
+  std::string name;
+  int arity = 0;
+};
+
+/// An access method on a relation: the positions that must be bound on
+/// input (the "mandatory fields of the web form", §2) and a per-invocation
+/// cost used by simple cost functions (§2, "Cost").
+struct AccessMethod {
+  AccessMethodId id = kInvalidAccessMethod;
+  std::string name;
+  RelationId relation = kInvalidRelation;
+  /// Sorted, distinct 0-based input positions. Empty means free access.
+  std::vector<int> input_positions;
+  /// Positive cost charged per access command using this method.
+  double cost = 1.0;
+
+  bool is_free_access() const { return input_positions.empty(); }
+};
+
+/// A querying scenario (§2): relations, schema constants, access methods,
+/// and TGD integrity constraints. Arbitrary first-order constraints are
+/// handled separately by the `interp` subsystem; the chase-based planner
+/// works on this TGD-based schema.
+class Schema {
+ public:
+  Schema() = default;
+
+  // --- construction -------------------------------------------------------
+
+  /// Adds a relation; fails on duplicate name or negative arity.
+  Result<RelationId> AddRelation(std::string name, int arity);
+
+  /// Adds an access method on `relation`; fails if the relation is unknown,
+  /// positions are out of range or duplicated, the cost is non-positive, or
+  /// the method name is taken.
+  Result<AccessMethodId> AddAccessMethod(std::string name, RelationId relation,
+                                         std::vector<int> input_positions,
+                                         double cost = 1.0);
+
+  /// Registers `value` as a schema constant (idempotent).
+  void AddConstant(Value value);
+
+  /// Adds a TGD integrity constraint; fails if it mentions unknown relations
+  /// or has arity mismatches.
+  Status AddConstraint(Tgd tgd);
+
+  // --- lookup -------------------------------------------------------------
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const Relation& relation(RelationId id) const;
+  Result<RelationId> RelationByName(const std::string& name) const;
+
+  int num_access_methods() const {
+    return static_cast<int>(access_methods_.size());
+  }
+  const AccessMethod& access_method(AccessMethodId id) const;
+  Result<AccessMethodId> AccessMethodByName(const std::string& name) const;
+  /// Ids of all methods declared on `relation`, in declaration order.
+  const std::vector<AccessMethodId>& MethodsOnRelation(RelationId relation)
+      const;
+
+  const std::vector<Tgd>& constraints() const { return constraints_; }
+  const std::vector<Value>& constants() const { return constants_; }
+  bool IsSchemaConstant(const Value& v) const;
+
+  /// True if every constraint is a guarded TGD.
+  bool AllConstraintsGuarded() const;
+
+  // --- validation & convenience -------------------------------------------
+
+  /// Checks that an atom/query/TGD is well-formed over this schema (known
+  /// relations, matching arities).
+  Status ValidateAtom(const Atom& atom) const;
+  Status ValidateQuery(const ConjunctiveQuery& query) const;
+  Status ValidateTgd(const Tgd& tgd) const;
+
+  /// Parses "R(x, y, \"smith\", 3)" into an Atom: bare identifiers become
+  /// variables, quoted strings and integers become constants.
+  Result<Atom> ParseAtom(const std::string& text) const;
+
+  std::string AtomToString(const Atom& atom) const;
+  std::string TgdToString(const Tgd& tgd) const;
+  std::string QueryToString(const ConjunctiveQuery& query) const;
+
+ private:
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+  std::vector<AccessMethod> access_methods_;
+  std::unordered_map<std::string, AccessMethodId> method_by_name_;
+  std::vector<std::vector<AccessMethodId>> methods_on_relation_;
+  std::vector<Tgd> constraints_;
+  std::vector<Value> constants_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_SCHEMA_SCHEMA_H_

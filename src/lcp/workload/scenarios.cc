@@ -1,0 +1,191 @@
+#include "lcp/workload/scenarios.h"
+
+#include <utility>
+
+#include "lcp/base/strings.h"
+#include "lcp/schema/parser.h"
+
+namespace lcp {
+
+namespace {
+
+Result<Scenario> Finish(std::string name, std::unique_ptr<Schema> schema,
+                        const std::string& query_text) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  LCP_ASSIGN_OR_RETURN(scenario.query, ParseQuery(*schema, query_text));
+  scenario.schema = std::move(schema);
+  return scenario;
+}
+
+}  // namespace
+
+Result<Scenario> MakeProfinfoScenario(bool boolean_query) {
+  auto schema = std::make_unique<Schema>();
+  LCP_ASSIGN_OR_RETURN(RelationId profinfo,
+                       schema->AddRelation("Profinfo", 3));
+  LCP_ASSIGN_OR_RETURN(RelationId udirect, schema->AddRelation("Udirect", 2));
+  LCP_RETURN_IF_ERROR(
+      schema->AddAccessMethod("mt_profinfo", profinfo, {0}).status());
+  LCP_RETURN_IF_ERROR(
+      schema->AddAccessMethod("mt_udirect", udirect, {}).status());
+  schema->AddConstant(Value::Str("smith"));
+  LCP_ASSIGN_OR_RETURN(
+      Tgd ref, ParseTgd(*schema, "Profinfo(e, o, l) -> Udirect(e, l)"));
+  ref.name = "profinfo_to_udirect";
+  LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(ref)));
+  return Finish(
+      boolean_query ? "example4_boolean" : "example1_smith", std::move(schema),
+      boolean_query ? "Q() :- Profinfo(eid, onum, lname)"
+                    : "Q(eid) :- Profinfo(eid, onum, \"smith\")");
+}
+
+Result<Scenario> MakeTelephoneScenario() {
+  auto schema = std::make_unique<Schema>();
+  LCP_ASSIGN_OR_RETURN(RelationId direct1, schema->AddRelation("Direct1", 3));
+  LCP_ASSIGN_OR_RETURN(RelationId ids, schema->AddRelation("Ids", 1));
+  LCP_ASSIGN_OR_RETURN(RelationId direct2, schema->AddRelation("Direct2", 3));
+  LCP_ASSIGN_OR_RETURN(RelationId names, schema->AddRelation("Names", 1));
+  // Direct1(uname, addr, uid) requires uname and uid.
+  LCP_RETURN_IF_ERROR(
+      schema->AddAccessMethod("mt_direct1", direct1, {0, 2}).status());
+  LCP_RETURN_IF_ERROR(schema->AddAccessMethod("mt_ids", ids, {}).status());
+  // Direct2(uname, addr, phone) requires uname and addr.
+  LCP_RETURN_IF_ERROR(
+      schema->AddAccessMethod("mt_direct2", direct2, {0, 1}).status());
+  LCP_RETURN_IF_ERROR(schema->AddAccessMethod("mt_names", names, {}).status());
+  // The overlap constraints of Example 2: Direct1's uids are listed in Ids,
+  // Direct2's unames in Names, and the directories reference each other on
+  // (uname, addr). The Direct2 → Direct1 direction is what makes the
+  // query completely answerable: every directory-2 entry is reachable
+  // through directory 1.
+  const char* constraints[] = {
+      "Direct1(u, a, i) -> Ids(i)",
+      "Direct1(u, a, i) -> Names(u)",
+      "Direct1(u, a, i) -> Direct2(u, a, p)",
+      "Direct2(u, a, p) -> Names(u)",
+      "Direct2(u, a, p) -> Direct1(u, a, i)",
+  };
+  for (const char* text : constraints) {
+    LCP_ASSIGN_OR_RETURN(Tgd tgd, ParseTgd(*schema, text));
+    LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(tgd)));
+  }
+  return Finish("example2_telephone", std::move(schema),
+                "Q(phone) :- Direct2(uname, addr, phone)");
+}
+
+Result<Scenario> MakeMultiSourceScenario(int num_sources,
+                                         const double* source_costs,
+                                         double profinfo_cost) {
+  auto schema = std::make_unique<Schema>();
+  LCP_ASSIGN_OR_RETURN(RelationId profinfo,
+                       schema->AddRelation("Profinfo", 3));
+  // Figure 1 feeds mt_Profinfo from a table with attributes (eid, lname):
+  // the method's inputs are the two positions the directories expose.
+  LCP_RETURN_IF_ERROR(
+      schema->AddAccessMethod("mt_profinfo", profinfo, {0, 2}, profinfo_cost)
+          .status());
+  for (int i = 1; i <= num_sources; ++i) {
+    LCP_ASSIGN_OR_RETURN(RelationId udirect,
+                         schema->AddRelation(StrCat("Udirect", i), 2));
+    double cost = source_costs != nullptr ? source_costs[i - 1] : 1.0;
+    LCP_RETURN_IF_ERROR(
+        schema->AddAccessMethod(StrCat("mt_udirect", i), udirect, {}, cost)
+            .status());
+    LCP_ASSIGN_OR_RETURN(
+        Tgd ref, ParseTgd(*schema, StrCat("Profinfo(e, o, l) -> Udirect", i,
+                                          "(e, l)")));
+    ref.name = StrCat("profinfo_to_udirect", i);
+    LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(ref)));
+  }
+  return Finish(StrCat("example5_multisource_", num_sources),
+                std::move(schema), "Q() :- Profinfo(eid, onum, lname)");
+}
+
+Result<Scenario> MakeChainScenario(int chain_length) {
+  auto schema = std::make_unique<Schema>();
+  // R0(a, b): the queried relation, requires b as input.
+  // Chain: Ri(a, b) -> R{i+1}(b, c) for i < n, and Rn is freely accessible;
+  // walking the chain from the free end yields values for position 1.
+  std::vector<RelationId> rels;
+  for (int i = 0; i <= chain_length; ++i) {
+    LCP_ASSIGN_OR_RETURN(RelationId r,
+                         schema->AddRelation(StrCat("R", i), 2));
+    rels.push_back(r);
+  }
+  LCP_RETURN_IF_ERROR(schema->AddAccessMethod("mt_R0", rels[0], {1}).status());
+  for (int i = 1; i < chain_length; ++i) {
+    LCP_RETURN_IF_ERROR(
+        schema->AddAccessMethod(StrCat("mt_R", i), rels[i], {1}).status());
+  }
+  if (chain_length >= 1) {
+    LCP_RETURN_IF_ERROR(
+        schema->AddAccessMethod(StrCat("mt_R", chain_length),
+                                rels[chain_length], {})
+            .status());
+  }
+  for (int i = 0; i < chain_length; ++i) {
+    LCP_ASSIGN_OR_RETURN(
+        Tgd tgd, ParseTgd(*schema, StrCat("R", i, "(a, b) -> R", i + 1,
+                                          "(b, c)")));
+    tgd.name = StrCat("chain", i);
+    LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(tgd)));
+  }
+  return Finish(StrCat("chain_", chain_length), std::move(schema),
+                "Q(a) :- R0(a, b)");
+}
+
+Result<Scenario> MakeViewScenario(int num_views) {
+  // 2 * num_views base relations; view V_i joins the disjoint pair
+  // (B_{2i}, B_{2i+1}). Non-overlapping pairs compose, so the path query is
+  // rewritable as V_0 ⋈ ... ⋈ V_{m-1}; overlapping pairs would (correctly)
+  // not be.
+  const int num_base = 2 * num_views;
+  auto schema = std::make_unique<Schema>();
+  for (int i = 0; i < num_base; ++i) {
+    LCP_RETURN_IF_ERROR(schema->AddRelation(StrCat("B", i), 2).status());
+  }
+  for (int i = 0; i < num_views; ++i) {
+    LCP_ASSIGN_OR_RETURN(RelationId v,
+                         schema->AddRelation(StrCat("V", i), 2));
+    LCP_RETURN_IF_ERROR(
+        schema->AddAccessMethod(StrCat("mt_V", i), v, {}).status());
+    // Both inclusion directions of the view definition
+    // V_i(x, z) === ∃y B_{2i}(x, y) ∧ B_{2i+1}(y, z).
+    LCP_ASSIGN_OR_RETURN(
+        Tgd fwd, ParseTgd(*schema, StrCat("B", 2 * i, "(x, y) & B", 2 * i + 1,
+                                          "(y, z) -> V", i, "(x, z)")));
+    fwd.name = StrCat("view", i, "_fwd");
+    LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(fwd)));
+    LCP_ASSIGN_OR_RETURN(
+        Tgd bwd, ParseTgd(*schema, StrCat("V", i, "(x, z) -> B", 2 * i,
+                                          "(x, y) & B", 2 * i + 1,
+                                          "(y, z)")));
+    bwd.name = StrCat("view", i, "_bwd");
+    LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(bwd)));
+  }
+  // Query: the full path join over the base relations.
+  std::vector<std::string> atoms;
+  for (int i = 0; i < num_base; ++i) {
+    atoms.push_back(StrCat("B", i, "(y", i, ", y", i + 1, ")"));
+  }
+  return Finish(StrCat("views_", num_views), std::move(schema),
+                StrCat("Q(y0, y", num_base, ") :- ", StrJoin(atoms, ", ")));
+}
+
+Result<Scenario> MakeCyclicGuardedScenario() {
+  auto schema = std::make_unique<Schema>();
+  LCP_ASSIGN_OR_RETURN(RelationId r, schema->AddRelation("R", 2));
+  LCP_ASSIGN_OR_RETURN(RelationId s, schema->AddRelation("S", 2));
+  LCP_RETURN_IF_ERROR(schema->AddAccessMethod("mt_R", r, {}).status());
+  LCP_RETURN_IF_ERROR(schema->AddAccessMethod("mt_S", s, {0}).status());
+  LCP_ASSIGN_OR_RETURN(Tgd t1, ParseTgd(*schema, "R(x, y) -> S(y, z)"));
+  t1.name = "r_to_s";
+  LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(t1)));
+  LCP_ASSIGN_OR_RETURN(Tgd t2, ParseTgd(*schema, "S(x, y) -> R(y, z)"));
+  t2.name = "s_to_r";
+  LCP_RETURN_IF_ERROR(schema->AddConstraint(std::move(t2)));
+  return Finish("cyclic_guarded", std::move(schema), "Q(x) :- R(x, y)");
+}
+
+}  // namespace lcp

@@ -1,0 +1,66 @@
+#ifndef LCP_WORKLOAD_SCENARIOS_H_
+#define LCP_WORKLOAD_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+
+#include "lcp/base/result.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+
+/// A self-contained querying scenario: a schema plus a query over it.
+/// The schema is heap-allocated so that objects holding pointers into it
+/// (accessible schemas, instances) stay valid as the scenario moves.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<Schema> schema;
+  ConjunctiveQuery query;
+};
+
+/// Example 1 / Example 4 of the paper: Profinfo(eid, onum, lname) behind an
+/// eid-input method; Udirect(eid, lname) freely accessible; referential
+/// constraint Profinfo → Udirect; schema constant "smith".
+/// If `boolean_query` the query is Example 4's ∃ Profinfo(...); otherwise
+/// Example 1's "ids of faculty named smith".
+Result<Scenario> MakeProfinfoScenario(bool boolean_query);
+
+/// Example 2: two telephone directories. Direct1(uname, addr, uid) requires
+/// uname+uid; Ids(uid) free; Direct2(uname, addr, phone) requires
+/// uname+addr; Names(uname) free; constraints Direct1→Ids (uid),
+/// Direct2→Names (uname), Direct1→Direct2 (uname, addr). Query: all phones
+/// in Direct2.
+Result<Scenario> MakeTelephoneScenario();
+
+/// Example 5 / Figure 1: Profinfo(eid, onum, lname) whose access method
+/// requires eid and lname (the attributes the directories expose — Figure 1
+/// feeds it a table with exactly those columns), plus `num_sources` freely
+/// accessible directories Udirect_i with constraints Profinfo → Udirect_i.
+/// Boolean query ∃ Profinfo(...).
+/// `source_costs[i]` (if non-null, length num_sources) sets the per-access
+/// cost of the i-th directory; Profinfo's method costs `profinfo_cost`.
+Result<Scenario> MakeMultiSourceScenario(int num_sources,
+                                         const double* source_costs = nullptr,
+                                         double profinfo_cost = 1.0);
+
+/// A chain scenario for scaling studies: relations R0..Rn, query over R0
+/// only; R0 requires an input that can only be obtained by walking free
+/// accesses down the chain R0 → R1 → ... → Rn (referential constraints).
+/// Longer chains need more accesses.
+Result<Scenario> MakeChainScenario(int chain_length);
+
+/// Answering-queries-using-views (Theorem 6): 2*num_views inaccessible base
+/// relations B0..B{2m-1}; view V_i defined as the join of the disjoint pair
+/// (B_{2i}, B_{2i+1}); all views freely accessible. The query is the path
+/// join of all base relations, rewritable as V_0 ⋈ ... ⋈ V_{m-1}. Used by
+/// the view-rewriting benchmark and tests.
+Result<Scenario> MakeViewScenario(int num_views);
+
+/// A cyclic guarded-TGD scenario for the blocking benchmark: R(x,y) →
+/// ∃z S(y,z), S(x,y) → ∃z R(y,z), query over R with restricted access.
+Result<Scenario> MakeCyclicGuardedScenario();
+
+}  // namespace lcp
+
+#endif  // LCP_WORKLOAD_SCENARIOS_H_

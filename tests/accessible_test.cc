@@ -1,0 +1,150 @@
+#include "lcp/accessible/accessible_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+Schema BaseSchema() {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  RelationId s = schema.AddRelation("S", 1).value();
+  schema.AddAccessMethod("mt_r", r, {0}).value();
+  schema.AddAccessMethod("mt_s", s, {}).value();
+  schema.AddConstant(Value::Str("smith"));
+  schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> S(y)"));
+  return schema;
+}
+
+TEST(AccessibleSchemaTest, RelationLayoutAndKinds) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok()) << acc.status();
+  // 2 base + 2 accessed + 2 inferred + accessible = 7 relations.
+  EXPECT_EQ(acc->schema().num_relations(), 7);
+  // Base relation ids are preserved.
+  EXPECT_EQ(acc->schema().relation(0).name, "R");
+  EXPECT_EQ(acc->KindOf(0), AccessibleRelationKind::kBase);
+  RelationId accessed_r = acc->AccessedOf(0);
+  EXPECT_EQ(acc->schema().relation(accessed_r).name, "AccessedR");
+  EXPECT_EQ(acc->KindOf(accessed_r), AccessibleRelationKind::kAccessed);
+  EXPECT_EQ(acc->BaseOf(accessed_r), 0);
+  RelationId inferred_s = acc->InferredOf(1);
+  EXPECT_EQ(acc->schema().relation(inferred_s).name, "InferredAccS");
+  EXPECT_EQ(acc->KindOf(inferred_s), AccessibleRelationKind::kInferred);
+  EXPECT_EQ(acc->schema().relation(acc->accessible_relation()).arity, 1);
+  EXPECT_EQ(acc->KindOf(acc->accessible_relation()),
+            AccessibleRelationKind::kAccessible);
+  // Constants carried over.
+  EXPECT_TRUE(acc->schema().IsSchemaConstant(Value::Str("smith")));
+}
+
+TEST(AccessibleSchemaTest, AxiomCounts) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc->original_constraints().size(), 1u);
+  EXPECT_EQ(acc->inferred_constraints().size(), 1u);
+  // One defining axiom per position: R has 2, S has 1.
+  EXPECT_EQ(acc->defining_axioms().size(), 3u);
+  // One accessibility axiom per method.
+  EXPECT_EQ(acc->accessibility_axioms().size(), 2u);
+  EXPECT_TRUE(acc->negative_axioms().empty());
+  EXPECT_TRUE(acc->bidirectional_axioms().empty());
+  EXPECT_EQ(acc->AllAxioms().size(), 7u);
+}
+
+TEST(AccessibleSchemaTest, InferredConstraintIsRelocatedCopy) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok());
+  const Tgd& copy = acc->inferred_constraints()[0];
+  EXPECT_EQ(copy.body[0].relation, acc->InferredOf(0));
+  EXPECT_EQ(copy.head[0].relation, acc->InferredOf(1));
+  // Variables preserved.
+  EXPECT_EQ(copy.body[0].terms, base.constraints()[0].body[0].terms);
+}
+
+TEST(AccessibleSchemaTest, AccessibilityAxiomShape) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok());
+  // mt_r on R with input {0}: accessible(x0) & R(x0,x1) ->
+  //   AccessedR(x0,x1) & InferredAccR(x0,x1).
+  const Tgd& axiom = acc->accessibility_axioms()[0];
+  ASSERT_EQ(axiom.body.size(), 2u);
+  EXPECT_EQ(axiom.body[0].relation, acc->accessible_relation());
+  EXPECT_EQ(axiom.body[1].relation, 0);
+  ASSERT_EQ(axiom.head.size(), 2u);
+  EXPECT_EQ(axiom.head[0].relation, acc->AccessedOf(0));
+  EXPECT_EQ(axiom.head[1].relation, acc->InferredOf(0));
+  // Free access on S: body is just S(x0).
+  const Tgd& free_axiom = acc->accessibility_axioms()[1];
+  EXPECT_EQ(free_axiom.body.size(), 1u);
+}
+
+TEST(AccessibleSchemaTest, NegativeVariantAxioms) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kNegative);
+  ASSERT_TRUE(acc.ok());
+  // Both R and S have methods, so both get a negative axiom requiring all
+  // positions accessible.
+  ASSERT_EQ(acc->negative_axioms().size(), 2u);
+  const Tgd& neg_r = acc->negative_axioms()[0];
+  // InferredAccR(x0,x1) & accessible(x0) & accessible(x1) ->
+  //   AccessedR & R.
+  EXPECT_EQ(neg_r.body.size(), 3u);
+  EXPECT_EQ(neg_r.body[0].relation, acc->InferredOf(0));
+  EXPECT_EQ(neg_r.head[1].relation, 0);
+}
+
+TEST(AccessibleSchemaTest, BidirectionalVariantAxioms) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kBidirectional);
+  ASSERT_TRUE(acc.ok());
+  // One per method.
+  ASSERT_EQ(acc->bidirectional_axioms().size(), 2u);
+  const Tgd& bi = acc->bidirectional_axioms()[0];
+  EXPECT_EQ(bi.body.size(), 2u);  // InferredAccR + accessible(x0)
+  EXPECT_EQ(bi.head[1].relation, 0);
+}
+
+TEST(AccessibleSchemaTest, InferredAccQueryAddsAccessibleAtoms) {
+  Schema base = BaseSchema();
+  auto acc = AccessibleSchema::Build(base, AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok());
+  auto query = ParseQuery(base, "Q(x) :- R(x, y)");
+  ASSERT_TRUE(query.ok());
+  ConjunctiveQuery inferred = acc->InferredAccQuery(*query);
+  ASSERT_EQ(inferred.atoms.size(), 2u);
+  EXPECT_EQ(inferred.atoms[0].relation, acc->InferredOf(0));
+  EXPECT_EQ(inferred.atoms[1].relation, acc->accessible_relation());
+  EXPECT_EQ(inferred.atoms[1].terms[0], Term::Var("x"));
+  EXPECT_EQ(inferred.free_variables, query->free_variables);
+
+  // Boolean query: no accessible atoms added.
+  auto boolean = ParseQuery(base, "Q() :- S(v)");
+  ConjunctiveQuery inferred_bool = acc->InferredAccQuery(*boolean);
+  EXPECT_EQ(inferred_bool.atoms.size(), 1u);
+}
+
+TEST(AccessibleSchemaTest, Example3AxiomsFromThePaper) {
+  // The accessible schema of Example 1 must contain exactly the rules the
+  // paper's Example 3 lists (modulo the fused Accessed->InferredAcc step).
+  Scenario scenario = MakeProfinfoScenario(false).value();
+  auto acc = AccessibleSchema::Build(*scenario.schema,
+                                     AccessibleVariant::kStandard);
+  ASSERT_TRUE(acc.ok());
+  // Profinfo -> Udirect (original), its InferredAcc copy, 3+2 defining
+  // axioms, 2 accessibility axioms.
+  EXPECT_EQ(acc->original_constraints().size(), 1u);
+  EXPECT_EQ(acc->inferred_constraints().size(), 1u);
+  EXPECT_EQ(acc->defining_axioms().size(), 5u);
+  EXPECT_EQ(acc->accessibility_axioms().size(), 2u);
+}
+
+}  // namespace
+}  // namespace lcp

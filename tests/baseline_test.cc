@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "lcp/baseline/bucket.h"
+#include "lcp/baseline/saturation.h"
+#include "lcp/data/query_eval.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+TEST(SaturationTest, ConvergesAndAnswersSimpleSchema) {
+  Scenario scenario = MakeProfinfoScenario(false).value();
+  const Schema& schema = *scenario.schema;
+  Instance instance(&schema);
+  instance.AddFact("Profinfo",
+                   {Value::Int(1), Value::Int(101), Value::Str("smith")});
+  instance.AddFact("Udirect", {Value::Int(1), Value::Str("smith")});
+  SimulatedSource source(&schema, &instance);
+  SaturationOptions options;
+  options.rounds = 3;
+  auto result = RunSaturation(scenario.query, source, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->answers, EvaluateQuery(scenario.query, instance));
+  EXPECT_GT(result->source_calls, 0u);
+}
+
+TEST(SaturationTest, MoreRoundsRetrieveMore) {
+  Scenario scenario = MakeTelephoneScenario().value();
+  const Schema& schema = *scenario.schema;
+  Instance instance(&schema);
+  instance.AddFact("Direct1", {Value::Int(1), Value::Int(2), Value::Int(3)});
+  instance.AddFact("Direct2", {Value::Int(1), Value::Int(2), Value::Int(7)});
+  instance.AddFact("Ids", {Value::Int(3)});
+  instance.AddFact("Names", {Value::Int(1)});
+
+  SaturationOptions two;
+  two.rounds = 2;
+  SimulatedSource source2(&schema, &instance);
+  auto r2 = RunSaturation(scenario.query, source2, two);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->answers.empty());  // phone needs 3 hops
+
+  SaturationOptions three;
+  three.rounds = 3;
+  SimulatedSource source3(&schema, &instance);
+  auto r3 = RunSaturation(scenario.query, source3, three);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->answers.size(), 1u);
+  EXPECT_GT(r3->source_calls, r2->source_calls);
+}
+
+TEST(SaturationTest, CallBudgetEnforced) {
+  Scenario scenario = MakeTelephoneScenario().value();
+  const Schema& schema = *scenario.schema;
+  Instance instance(&schema);
+  for (int i = 0; i < 30; ++i) {
+    instance.AddFact("Ids", {Value::Int(i)});
+    instance.AddFact("Names", {Value::Int(100 + i)});
+  }
+  SimulatedSource source(&schema, &instance);
+  SaturationOptions options;
+  options.rounds = 2;
+  options.max_source_calls = 100;
+  auto result = RunSaturation(scenario.query, source, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+class BucketFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_.AddRelation("R", 2).value();
+    schema_.AddRelation("S", 2).value();
+  }
+  ViewDefinition MakeView(const std::string& name,
+                          const std::string& definition) {
+    ViewDefinition view;
+    int arity =
+        static_cast<int>(ParseQuery(schema_, definition)->free_variables.size());
+    view.view = schema_.AddRelation(name, arity).value();
+    view.definition = ParseQuery(schema_, definition).value();
+    return view;
+  }
+  Schema schema_;
+};
+
+TEST_F(BucketFixture, IdentityViewRewrites) {
+  std::vector<ViewDefinition> views = {MakeView("V", "V(x, y) :- R(x, y)")};
+  auto query = ParseQuery(schema_, "Q(a, b) :- R(a, b)");
+  auto result = BucketRewrite(schema_, *query, views);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ((*result)->atoms.size(), 1u);
+  EXPECT_EQ((*result)->atoms[0].relation, views[0].view);
+}
+
+TEST_F(BucketFixture, JoinViewCoversTwoSubgoals) {
+  std::vector<ViewDefinition> views = {
+      MakeView("V", "V(x, z) :- R(x, y), S(y, z)")};
+  auto query = ParseQuery(schema_, "Q(a, c) :- R(a, b), S(b, c)");
+  auto result = BucketRewrite(schema_, *query, views);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ((*result)->atoms.size(), 1u);
+}
+
+TEST_F(BucketFixture, ProjectionLosesInformation) {
+  // V(x) :- R(x, y) cannot answer Q(a, b) :- R(a, b).
+  std::vector<ViewDefinition> views = {MakeView("V", "V(x) :- R(x, y)")};
+  auto query = ParseQuery(schema_, "Q(a, b) :- R(a, b)");
+  auto result = BucketRewrite(schema_, *query, views);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST_F(BucketFixture, NoViewCoversRelation) {
+  std::vector<ViewDefinition> views = {MakeView("V", "V(x, y) :- R(x, y)")};
+  auto query = ParseQuery(schema_, "Q(a) :- S(a, b)");
+  auto result = BucketRewrite(schema_, *query, views);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+TEST_F(BucketFixture, ExpansionInlinesDefinitions) {
+  std::vector<ViewDefinition> views = {
+      MakeView("V", "V(x, z) :- R(x, y), S(y, z)")};
+  ConjunctiveQuery rewriting;
+  rewriting.name = "W";
+  rewriting.free_variables = {"a", "c"};
+  rewriting.atoms = {Atom(views[0].view, {Term::Var("a"), Term::Var("c")})};
+  auto expanded = ExpandViews(rewriting, views);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(expanded->atoms.size(), 2u);
+  EXPECT_EQ(expanded->atoms[0].relation, 0);  // R
+  EXPECT_EQ(expanded->atoms[1].relation, 1);  // S
+  // The shared existential variable is preserved across the two atoms.
+  EXPECT_EQ(expanded->atoms[0].terms[1], expanded->atoms[1].terms[0]);
+}
+
+TEST_F(BucketFixture, OverlappingViewsDoNotCompose) {
+  // The view-rewriting example's negative case, at unit-test scale:
+  // V0 = B0 ⋈ B1, V1 = B1 ⋈ B2 cannot rewrite the path of length 3.
+  Schema schema;
+  schema.AddRelation("B0", 2).value();
+  schema.AddRelation("B1", 2).value();
+  schema.AddRelation("B2", 2).value();
+  std::vector<ViewDefinition> views;
+  for (int i = 0; i < 2; ++i) {
+    ViewDefinition view;
+    view.view = schema.AddRelation("V" + std::to_string(i), 2).value();
+    view.definition =
+        ParseQuery(schema, "V(x, z) :- B" + std::to_string(i) + "(x, y), B" +
+                               std::to_string(i + 1) + "(y, z)")
+            .value();
+    views.push_back(std::move(view));
+  }
+  auto query = ParseQuery(
+      schema, "Q(a, d) :- B0(a, b), B1(b, c), B2(c, d)");
+  auto result = BucketRewrite(schema, *query, views);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->has_value());
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,243 @@
+#include "lcp/chase/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/chase/matcher.h"
+#include "lcp/schema/parser.h"
+
+namespace lcp {
+namespace {
+
+TEST(TermArenaTest, ConstantsInterned) {
+  TermArena arena;
+  ChaseTermId a = arena.InternConstant(Value::Int(1));
+  ChaseTermId b = arena.InternConstant(Value::Int(1));
+  ChaseTermId c = arena.InternConstant(Value::Str("1"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(TermArena::IsConstant(a));
+  EXPECT_FALSE(TermArena::IsNull(a));
+  EXPECT_EQ(arena.ConstantOf(a), Value::Int(1));
+}
+
+TEST(TermArenaTest, NullsHaveUniqueDisplayNamesAndDepth) {
+  TermArena arena;
+  ChaseTermId a = arena.NewNull("x", 0);
+  ChaseTermId b = arena.NewNull("x", 3);
+  EXPECT_TRUE(TermArena::IsNull(a));
+  EXPECT_NE(arena.DisplayName(a), arena.DisplayName(b));
+  EXPECT_EQ(arena.DepthOf(a), 0);
+  EXPECT_EQ(arena.DepthOf(b), 3);
+  EXPECT_EQ(arena.num_nulls(), 2u);
+}
+
+TEST(ChaseConfigTest, AddContainsAndIndex) {
+  ChaseConfig config;
+  Fact f(0, {1, 2});
+  EXPECT_TRUE(config.Add(f));
+  EXPECT_FALSE(config.Add(f));
+  EXPECT_TRUE(config.Contains(f));
+  EXPECT_FALSE(config.Contains(Fact(0, {2, 1})));
+  EXPECT_EQ(config.FactsOf(0).size(), 1u);
+  EXPECT_TRUE(config.FactsOf(7).empty());
+  config.Add(Fact(0, {1, 5}));
+  EXPECT_EQ(config.TermsAt(0, 0), (std::vector<ChaseTermId>{1}));
+  EXPECT_EQ(config.TermsAt(0, 1), (std::vector<ChaseTermId>{2, 5}));
+}
+
+TEST(MatcherTest, EnumeratesAllHomomorphisms) {
+  // Pattern R(x, y), R(y, z) over facts 1->2, 2->3, 2->4.
+  ChaseConfig config;
+  config.Add(Fact(0, {1, 2}));
+  config.Add(Fact(0, {2, 3}));
+  config.Add(Fact(0, {2, 4}));
+  std::vector<Atom> atoms = {
+      Atom(0, {Term::Var("x"), Term::Var("y")}),
+      Atom(0, {Term::Var("y"), Term::Var("z")}),
+  };
+  TermArena arena;
+  VariableTable vars;
+  auto pattern = CompileAtoms(atoms, vars, arena);
+  std::vector<ChaseTermId> assignment(vars.size(), kUnboundTerm);
+  int count = 0;
+  EnumerateHomomorphisms(pattern, config, assignment,
+                         [&](const std::vector<ChaseTermId>&) {
+                           ++count;
+                           return true;
+                         });
+  // 1->2->3, 1->2->4, 2->3?no, 2->4?no ... also y->z with (2,3),(3,?) no.
+  EXPECT_EQ(count, 2);
+  // Assignment restored afterwards.
+  for (ChaseTermId t : assignment) EXPECT_EQ(t, kUnboundTerm);
+}
+
+TEST(MatcherTest, PreboundAssignmentRestricts) {
+  ChaseConfig config;
+  config.Add(Fact(0, {1, 2}));
+  config.Add(Fact(0, {3, 4}));
+  std::vector<Atom> atoms = {Atom(0, {Term::Var("x"), Term::Var("y")})};
+  TermArena arena;
+  VariableTable vars;
+  auto pattern = CompileAtoms(atoms, vars, arena);
+  std::vector<ChaseTermId> assignment(vars.size(), kUnboundTerm);
+  assignment[vars.IndexOf("x")] = 3;
+  EXPECT_TRUE(HasHomomorphism(pattern, config, assignment));
+  assignment[vars.IndexOf("x")] = 9;
+  EXPECT_FALSE(HasHomomorphism(pattern, config, assignment));
+}
+
+TEST(MatcherTest, ConstantSlots) {
+  TermArena arena;
+  ChaseTermId c = arena.InternConstant(Value::Str("smith"));
+  ChaseConfig config;
+  config.Add(Fact(0, {1, c}));
+  std::vector<Atom> atoms = {Atom(0, {Term::Var("x"), Term::Const("smith")})};
+  VariableTable vars;
+  auto pattern = CompileAtoms(atoms, vars, arena);
+  std::vector<ChaseTermId> assignment(vars.size(), kUnboundTerm);
+  EXPECT_TRUE(HasHomomorphism(pattern, config, assignment));
+
+  std::vector<Atom> wrong = {Atom(0, {Term::Var("x"), Term::Const("jones")})};
+  VariableTable vars2;
+  auto pattern2 = CompileAtoms(wrong, vars2, arena);
+  std::vector<ChaseTermId> assignment2(vars2.size(), kUnboundTerm);
+  EXPECT_FALSE(HasHomomorphism(pattern2, config, assignment2));
+}
+
+TEST(CanonicalDatabaseTest, OneNullPerVariableOneFactPerAtom) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  auto query = ParseQuery(schema, "Q(x) :- R(x, y), R(y, x)");
+  ASSERT_TRUE(query.ok());
+  TermArena arena;
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  EXPECT_EQ(canonical.config.size(), 2u);
+  EXPECT_EQ(canonical.var_to_term.size(), 2u);
+  EXPECT_NE(canonical.var_to_term.at("x"), canonical.var_to_term.at("y"));
+}
+
+TEST(ChaseEngineTest, RestrictedChaseDoesNotRefireSatisfiedHeads) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  schema.AddRelation("S", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> S(x, z)")).ok());
+  auto query = ParseQuery(schema, "Q() :- R(a, b), S(a, c)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_TRUE(stats.ok());
+  // The head S(a, _) is already witnessed by the canonical S(a, c): no firing.
+  EXPECT_EQ(stats->firings, 0);
+  EXPECT_TRUE(stats->reached_fixpoint);
+}
+
+TEST(ChaseEngineTest, ChainFiresOncePerLink) {
+  Schema schema;
+  schema.AddRelation("A", 1).value();
+  schema.AddRelation("B", 1).value();
+  schema.AddRelation("C", 1).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "A(x) -> B(x)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "B(x) -> C(x)")).ok());
+  auto query = ParseQuery(schema, "Q() :- A(u)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->firings, 2);
+  EXPECT_EQ(canonical.config.size(), 3u);
+  // No nulls invented: the constraints are full TGDs.
+  EXPECT_EQ(arena.num_nulls(), 1u);
+}
+
+TEST(ChaseEngineTest, ExistentialsInventNullsWithDepth) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> R(y, z)")).ok());
+  auto query = ParseQuery(schema, "Q() :- R(a, b)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  options.max_null_depth = 3;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->reached_fixpoint);
+  EXPECT_EQ(stats->firings, 3);  // depths 1, 2, 3 then capped
+  EXPECT_GT(stats->depth_capped_triggers, 0);
+}
+
+TEST(ChaseEngineTest, FiringCapRespected) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> R(y, z)")).ok());
+  auto query = ParseQuery(schema, "Q() :- R(a, b)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  options.max_firings = 5;
+  options.fail_on_firing_cap = true;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  EXPECT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+
+  TermArena arena2;
+  ChaseEngine engine2(&schema, &arena2);
+  CanonicalDatabase canonical2 = BuildCanonicalDatabase(*query, arena2);
+  options.fail_on_firing_cap = false;
+  auto stats2 = engine2.Run(schema.constraints(), options, canonical2.config);
+  ASSERT_TRUE(stats2.ok());
+  EXPECT_EQ(stats2->firings, 5);
+  EXPECT_FALSE(stats2->reached_fixpoint);
+}
+
+TEST(ChaseEngineTest, GuardedBlockingTerminatesCyclicSet) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  schema.AddRelation("S", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> S(y, z)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "S(x, y) -> R(y, z)")).ok());
+  auto query = ParseQuery(schema, "Q() :- R(a, b)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  options.use_guarded_blocking = true;
+  options.max_firings = 10000;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_TRUE(stats->reached_fixpoint);
+  EXPECT_LT(stats->firings, 10);
+  EXPECT_GT(stats->blocked_triggers, 0);
+}
+
+TEST(ChaseEngineTest, TgdWithConstantsInHead) {
+  Schema schema;
+  schema.AddRelation("R", 1).value();
+  schema.AddRelation("Tagged", 2).value();
+  ASSERT_TRUE(
+      schema.AddConstraint(*ParseTgd(schema, "R(x) -> Tagged(x, \"hot\")"))
+          .ok());
+  auto query = ParseQuery(schema, "Q() :- R(a)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+  ChaseOptions options;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->firings, 1);
+  // The Tagged fact carries the interned constant.
+  ChaseTermId hot = arena.InternConstant(Value::Str("hot"));
+  bool found = false;
+  for (const Fact& fact : canonical.config.facts()) {
+    if (fact.relation == 1 && fact.terms[1] == hot) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace lcp

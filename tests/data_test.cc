@@ -1,0 +1,153 @@
+#include "lcp/data/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/data/generator.h"
+#include "lcp/data/query_eval.h"
+#include "lcp/schema/parser.h"
+
+namespace lcp {
+namespace {
+
+Schema TwoRelationSchema() {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  schema.AddRelation("S", 1).value();
+  return schema;
+}
+
+TEST(InstanceTest, InsertDeduplicates) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  EXPECT_TRUE(instance.AddFact("R", {Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_TRUE(instance.AddFact("R", {Value::Int(1), Value::Int(2)}).ok());
+  EXPECT_EQ(instance.relation(0).size(), 1u);
+  EXPECT_TRUE(instance.relation(0).Contains({Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(instance.relation(0).Contains({Value::Int(2), Value::Int(1)}));
+  EXPECT_EQ(instance.TotalFacts(), 1u);
+}
+
+TEST(InstanceTest, AddFactChecksArity) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  EXPECT_FALSE(instance.AddFact("R", {Value::Int(1)}).ok());
+  EXPECT_FALSE(instance.AddFact("T", {Value::Int(1)}).ok());
+}
+
+TEST(QueryEvalTest, JoinWithConstantsAndRepeats) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(1)});
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(2)});
+  instance.AddFact(0, Tuple{Value::Int(2), Value::Int(3)});
+  instance.AddFact(1, Tuple{Value::Int(2)});
+
+  // Self-loop query R(x, x).
+  auto loops = EvaluateQuery(*ParseQuery(schema, "Q(x) :- R(x, x)"),
+                             instance);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0][0], Value::Int(1));
+
+  // Join R(x, y), S(y).
+  auto joined =
+      EvaluateQuery(*ParseQuery(schema, "Q(x, y) :- R(x, y), S(y)"),
+                    instance);
+  ASSERT_EQ(joined.size(), 1u);
+  EXPECT_EQ(joined[0], (Tuple{Value::Int(1), Value::Int(2)}));
+
+  // Constant selection.
+  auto with_const =
+      EvaluateQuery(*ParseQuery(schema, "Q(y) :- R(2, y)"), instance);
+  ASSERT_EQ(with_const.size(), 1u);
+  EXPECT_EQ(with_const[0][0], Value::Int(3));
+}
+
+TEST(QueryEvalTest, BooleanQueries) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  auto q = *ParseQuery(schema, "Q() :- S(x)");
+  EXPECT_TRUE(EvaluateQuery(q, instance).empty());
+  instance.AddFact(1, Tuple{Value::Int(5)});
+  auto result = EvaluateQuery(q, instance);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_TRUE(result[0].empty());
+}
+
+TEST(QueryEvalTest, AnswersAreDistinct) {
+  Schema schema = TwoRelationSchema();
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(2)});
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(3)});
+  auto result =
+      EvaluateQuery(*ParseQuery(schema, "Q(x) :- R(x, y)"), instance);
+  EXPECT_EQ(result.size(), 1u);
+}
+
+TEST(ConstraintCheckTest, DetectsViolationAndSatisfaction) {
+  Schema schema = TwoRelationSchema();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> S(y)")).ok());
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(SatisfiesConstraints(instance));
+  EXPECT_EQ(ViolatedConstraints(instance).size(), 1u);
+  instance.AddFact(1, Tuple{Value::Int(2)});
+  EXPECT_TRUE(SatisfiesConstraints(instance));
+}
+
+TEST(ConstraintCheckTest, ExistentialHeadWitness) {
+  Schema schema;
+  schema.AddRelation("R", 1).value();
+  schema.AddRelation("S", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x) -> S(x, y)")).ok());
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(1)});
+  instance.AddFact(1, Tuple{Value::Int(1), Value::Int(99)});
+  EXPECT_TRUE(SatisfiesConstraints(instance));
+  instance.AddFact(0, Tuple{Value::Int(2)});
+  EXPECT_FALSE(SatisfiesConstraints(instance));
+}
+
+TEST(GeneratorTest, RepairMakesConstraintsHold) {
+  Schema schema;
+  schema.AddRelation("A", 2).value();
+  schema.AddRelation("B", 2).value();
+  schema.AddRelation("C", 1).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "A(x, y) -> B(y, z)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "B(x, y) -> C(x)")).ok());
+  GeneratorOptions options;
+  options.facts_per_relation = 15;
+  options.domain_size = 10;
+  options.seed = 7;
+  auto instance = GenerateInstance(schema, options);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(SatisfiesConstraints(*instance));
+  // 15 random facts per relation minus duplicates, plus repair facts.
+  EXPECT_GE(instance->TotalFacts(), 30u);
+}
+
+TEST(GeneratorTest, DeterministicWithSeed) {
+  Schema schema = TwoRelationSchema();
+  GeneratorOptions options;
+  options.seed = 99;
+  auto a = GenerateInstance(schema, options);
+  auto b = GenerateInstance(schema, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->relation(0).tuples(), b->relation(0).tuples());
+}
+
+TEST(GeneratorTest, NonTerminatingRepairHitsCap) {
+  // R(x, y) -> R(y, z) chases forever from any seed fact.
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> R(y, z)")).ok());
+  GeneratorOptions options;
+  options.facts_per_relation = 1;
+  options.domain_size = 1000000;  // Make an R(v, v) self-loop implausible.
+  options.max_repair_facts = 50;
+  auto instance = GenerateInstance(schema, options);
+  EXPECT_FALSE(instance.ok());
+  EXPECT_EQ(instance.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,199 @@
+// End-to-end property tests: for randomized instances that satisfy the
+// schema constraints, a proof-derived plan must return exactly the oracle's
+// answers (Theorem 5's completeness, checked empirically), and its source
+// accesses must respect the binding patterns by construction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/strings.h"
+#include "lcp/data/generator.h"
+#include "lcp/data/query_eval.h"
+#include "lcp/planner/proof_search.h"
+#include "lcp/runtime/executor.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+struct IntegrationCase {
+  std::string name;
+  std::function<Result<Scenario>()> make;
+  int max_access_commands;
+  /// Facts seeded per relation before repair.
+  int facts_per_relation;
+};
+
+class PlanCompletenessTest
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+std::vector<IntegrationCase> Cases() {
+  return {
+      {"profinfo", [] { return MakeProfinfoScenario(false); }, 3, 12},
+      {"profinfo_bool", [] { return MakeProfinfoScenario(true); }, 3, 12},
+      {"telephone", [] { return MakeTelephoneScenario(); }, 5, 8},
+      {"multisource3", [] { return MakeMultiSourceScenario(3); }, 4, 10},
+      {"chain2", [] { return MakeChainScenario(2); }, 3, 10},
+      {"chain3", [] { return MakeChainScenario(3); }, 4, 8},
+      {"views2", [] { return MakeViewScenario(2); }, 2, 10},
+  };
+}
+
+TEST_P(PlanCompletenessTest, PlanMatchesOracleOnRandomInstances) {
+  const IntegrationCase test_case = Cases()[std::get<0>(GetParam())];
+  const uint64_t seed = std::get<1>(GetParam());
+
+  auto scenario = test_case.make();
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  const Schema& schema = *scenario->schema;
+  auto accessible =
+      AccessibleSchema::Build(schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+
+  auto found =
+      FindAnyPlan(*accessible, scenario->query, test_case.max_access_commands);
+  ASSERT_TRUE(found.ok()) << test_case.name << ": " << found.status();
+
+  GeneratorOptions options;
+  options.seed = seed;
+  options.facts_per_relation = test_case.facts_per_relation;
+  options.domain_size = 15;  // Small domain -> plenty of joins.
+  auto instance = GenerateInstance(schema, options);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  ASSERT_TRUE(SatisfiesConstraints(*instance))
+      << StrJoin(ViolatedConstraints(*instance), ", ");
+
+  SimulatedSource source(&schema, instance.operator->());
+  auto run = ExecutePlan(found->plan, source);
+  ASSERT_TRUE(run.ok()) << run.status();
+
+  std::set<Tuple> plan_rows(run->output.rows().begin(),
+                            run->output.rows().end());
+  std::vector<Tuple> oracle = EvaluateQuery(scenario->query, *instance);
+  std::set<Tuple> oracle_rows(oracle.begin(), oracle.end());
+  EXPECT_EQ(plan_rows, oracle_rows)
+      << test_case.name << " seed " << seed << ": plan returned "
+      << plan_rows.size() << " rows, oracle " << oracle_rows.size();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenariosAndSeeds, PlanCompletenessTest,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(1u, 7u, 42u, 1234u, 99999u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, uint64_t>>& info) {
+      return Cases()[std::get<0>(info.param)].name + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// The optimal plan (not just any plan) is also complete, and both prunings
+// preserve the optimum — checked across scenarios.
+class PruningSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PruningSoundnessTest, PruningsPreserveTheOptimum) {
+  const IntegrationCase test_case = Cases()[GetParam()];
+  auto scenario = test_case.make();
+  ASSERT_TRUE(scenario.ok());
+  auto accessible =
+      AccessibleSchema::Build(*scenario->schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok());
+  SimpleCostFunction cost(scenario->schema.get());
+  ProofSearch search(&*accessible, &cost);
+
+  double costs[4];
+  int nodes[4];
+  int config_index = 0;
+  for (bool prune_cost : {false, true}) {
+    for (bool prune_dom : {false, true}) {
+      SearchOptions options;
+      options.max_access_commands = test_case.max_access_commands;
+      options.prune_by_cost = prune_cost;
+      options.prune_by_dominance = prune_dom;
+      auto outcome = search.Run(scenario->query, options);
+      ASSERT_TRUE(outcome.ok()) << outcome.status();
+      ASSERT_TRUE(outcome->best.has_value());
+      costs[config_index] = outcome->best->cost;
+      nodes[config_index] = outcome->stats.nodes_created;
+      ++config_index;
+    }
+  }
+  EXPECT_DOUBLE_EQ(costs[0], costs[1]);
+  EXPECT_DOUBLE_EQ(costs[0], costs[2]);
+  EXPECT_DOUBLE_EQ(costs[0], costs[3]);
+  // Pruning never explores more nodes than no pruning.
+  EXPECT_LE(nodes[3], nodes[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, PruningSoundnessTest,
+                         ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return Cases()[info.param].name;
+                         });
+
+// The Example 5 motivation, measured: the 3-directory intersection plan
+// costs more under the simple (per-command) cost function, but reduces the
+// number of per-tuple calls into the expensive checking access — which is
+// why §2 allows richer, monotone "black box" cost functions. Both plans
+// must return identical (complete) answers.
+TEST(AccessEfficiencyTest, IntersectionPlanTradesCommandsForBindings) {
+  auto scenario = MakeMultiSourceScenario(3);
+  ASSERT_TRUE(scenario.ok());
+  const Schema& schema = *scenario->schema;
+  auto accessible =
+      AccessibleSchema::Build(schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok());
+  SimpleCostFunction cost(&schema);
+  ProofSearch search(&*accessible, &cost);
+  SearchOptions options;
+  options.max_access_commands = 4;
+  options.keep_all_plans = true;
+  options.prune_by_cost = false;
+  options.prune_by_dominance = false;
+  auto outcome = search.Run(scenario->query, options);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_GE(outcome->all_plans.size(), 2u);
+
+  GeneratorOptions gen;
+  gen.facts_per_relation = 10;
+  gen.domain_size = 12;
+  auto instance = GenerateInstance(schema, gen);
+  ASSERT_TRUE(instance.ok());
+
+  // Execute the cheapest and the most expensive plan; the cheapest must
+  // make no more distinct source calls.
+  const FoundPlan* cheapest = &outcome->all_plans[0];
+  const FoundPlan* priciest = &outcome->all_plans[0];
+  for (const FoundPlan& plan : outcome->all_plans) {
+    if (plan.cost < cheapest->cost) cheapest = &plan;
+    if (plan.cost > priciest->cost) priciest = &plan;
+  }
+  SimulatedSource cheap_source(&schema, instance.operator->());
+  SimulatedSource pricey_source(&schema, instance.operator->());
+  auto cheap_run = ExecutePlan(cheapest->plan, cheap_source);
+  auto pricey_run = ExecutePlan(priciest->plan, pricey_source);
+  ASSERT_TRUE(cheap_run.ok() && pricey_run.ok());
+
+  // Count distinct bindings fed into the restricted Profinfo method.
+  AccessMethodId profinfo_method = *schema.AccessMethodByName("mt_profinfo");
+  auto profinfo_bindings = [&](const SimulatedSource& source) {
+    size_t count = 0;
+    for (const AccessPair& pair : source.distinct_pairs()) {
+      if (pair.method == profinfo_method) ++count;
+    }
+    return count;
+  };
+  // The intersection plan (more commands, higher simple cost) drives fewer
+  // tuples into the checking access.
+  EXPECT_GE(profinfo_bindings(cheap_source),
+            profinfo_bindings(pricey_source));
+  // And both are complete.
+  std::set<Tuple> a(cheap_run->output.rows().begin(),
+                    cheap_run->output.rows().end());
+  std::set<Tuple> b(pricey_run->output.rows().begin(),
+                    pricey_run->output.rows().end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace lcp

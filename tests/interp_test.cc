@@ -1,0 +1,314 @@
+// Tests for the interpolation subsystem (Theorem 4, Access Interpolation):
+// the formula layer (polarities, BindPatt — reproducing the paper's
+// worked BindPatt example), the finite model checker, the tableau prover,
+// and the five clauses of the theorem on extracted interpolants.
+
+#include "lcp/interp/tableau.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/interp/encode.h"
+#include "lcp/interp/model_check.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+/// Signature with P(1), Q(1), R(2), S(3), U(3).
+struct Sig {
+  Schema schema;
+  RelationId p, q, r, s, u;
+  Sig() {
+    p = schema.AddRelation("P", 1).value();
+    q = schema.AddRelation("Q", 1).value();
+    r = schema.AddRelation("R", 2).value();
+    s = schema.AddRelation("S", 3).value();
+    u = schema.AddRelation("U", 3).value();
+  }
+};
+
+Term V(const char* name) { return Term::Var(name); }
+Term C(int64_t v) { return Term::Const(v); }
+
+TEST(FormulaTest, FreeVariablesRespectQuantifierScope) {
+  Sig sig;
+  // ∃x (R(x, y) ∧ P(x)): free = {y}.
+  FormulaPtr f = Formula::Exists(
+      {"x"}, Atom(sig.r, {V("x"), V("y")}),
+      Formula::MakeAtom(Atom(sig.p, {V("x")})));
+  EXPECT_EQ(f->FreeVariables(), (std::vector<std::string>{"y"}));
+}
+
+TEST(FormulaTest, PolaritiesMatchPaperConvention) {
+  Sig sig;
+  // ∀x (P(x) → ∃y (R(x,y) ∧ True)): P negative, R positive.
+  FormulaPtr f = Formula::Forall(
+      {"x"}, Atom(sig.p, {V("x")}),
+      Formula::Exists({"y"}, Atom(sig.r, {V("x"), V("y")}), Formula::True()));
+  std::set<RelationId> pos, neg;
+  f->CollectPolarities(true, pos, neg);
+  EXPECT_TRUE(neg.count(sig.p));
+  EXPECT_TRUE(pos.count(sig.r));
+  EXPECT_FALSE(pos.count(sig.p));
+  EXPECT_FALSE(neg.count(sig.r));
+
+  // Negation flips: ¬ of the above.
+  pos.clear();
+  neg.clear();
+  Formula::Not(f)->CollectPolarities(true, pos, neg);
+  EXPECT_TRUE(pos.count(sig.p));
+  EXPECT_TRUE(neg.count(sig.r));
+}
+
+TEST(FormulaTest, BindPattReproducesThePaperExample) {
+  // BindPatt(∃xy (Rxy ∧ ∀z (Sxyz → Uxyz)))
+  //   = {(R, ∅), (S, {1,2}), (U, {1,2,3})} in the paper's 1-based positions;
+  // 0-based here: {(R, {}), (S, {0,1}), (U, {0,1,2})}.
+  Sig sig;
+  FormulaPtr inner = Formula::Forall(
+      {"z"}, Atom(sig.s, {V("x"), V("y"), V("z")}),
+      Formula::MakeAtom(Atom(sig.u, {V("x"), V("y"), V("z")})));
+  FormulaPtr f =
+      Formula::Exists({"x", "y"}, Atom(sig.r, {V("x"), V("y")}), inner);
+  BindingPatternSet expected = {
+      {sig.r, {}},
+      {sig.s, {0, 1}},
+      {sig.u, {0, 1, 2}},
+  };
+  EXPECT_EQ(f->BindPatt(), expected);
+}
+
+TEST(ModelCheckTest, QuantifiersUseActiveDomainOfGuard) {
+  Sig sig;
+  Instance instance(&sig.schema);
+  instance.AddFact(sig.p, {Value::Int(1)});
+  instance.AddFact(sig.p, {Value::Int(2)});
+  instance.AddFact(sig.q, {Value::Int(1)});
+
+  // ∀x (P(x) → Q(x)): false (2 ∈ P \ Q).
+  FormulaPtr all = Formula::Forall({"x"}, Atom(sig.p, {V("x")}),
+                                   Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  EXPECT_FALSE(*EvaluateSentence(*all, instance));
+  // ∃x (P(x) ∧ Q(x)): true.
+  FormulaPtr some = Formula::Exists({"x"}, Atom(sig.p, {V("x")}),
+                                    Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  EXPECT_TRUE(*EvaluateSentence(*some, instance));
+  // Ground atom with constants.
+  EXPECT_TRUE(*EvaluateSentence(*Formula::MakeAtom(Atom(sig.p, {C(2)})),
+                                instance));
+  EXPECT_FALSE(*EvaluateSentence(*Formula::MakeAtom(Atom(sig.q, {C(2)})),
+                                 instance));
+}
+
+TEST(TableauTest, GroundPropositionalEntailments) {
+  Sig sig;
+  TableauOptions options;
+  FormulaPtr pa = Formula::MakeAtom(Atom(sig.p, {C(1)}));
+  FormulaPtr qa = Formula::MakeAtom(Atom(sig.q, {C(1)}));
+
+  EXPECT_TRUE(*ProveEntailment(sig.schema, pa, pa, options));
+  EXPECT_FALSE(*ProveEntailment(sig.schema, pa, qa, options));
+  EXPECT_TRUE(*ProveEntailment(sig.schema, Formula::And({pa, qa}), qa,
+                               options));
+  EXPECT_TRUE(
+      *ProveEntailment(sig.schema, pa, Formula::Or({pa, qa}), options));
+  EXPECT_FALSE(
+      *ProveEntailment(sig.schema, Formula::Or({pa, qa}), pa, options));
+  // Modus ponens with a ground disjunction: P, (¬P ∨ Q) ⊨ Q.
+  EXPECT_TRUE(*ProveEntailment(
+      sig.schema,
+      Formula::And({pa, Formula::Or({Formula::Not(pa), qa})}), qa, options));
+}
+
+TEST(TableauTest, InterpolantOfSharedAtom) {
+  Sig sig;
+  TableauOptions options;
+  FormulaPtr pa = Formula::MakeAtom(Atom(sig.p, {C(1)}));
+  FormulaPtr qa = Formula::MakeAtom(Atom(sig.q, {C(1)}));
+  FormulaPtr ra = Formula::MakeAtom(Atom(sig.r, {C(1), C(2)}));
+  // P ∧ Q ⊨ Q ∨ R: interpolant must mention only Q (the shared relation).
+  auto result = ProveAndInterpolate(
+      sig.schema, Formula::And({pa, qa}), Formula::Or({qa, ra}), options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->proved);
+  std::set<RelationId> pos, neg;
+  result->interpolant->CollectPolarities(true, pos, neg);
+  EXPECT_TRUE(pos.count(sig.q));
+  EXPECT_FALSE(pos.count(sig.p));
+  EXPECT_FALSE(pos.count(sig.r));
+  EXPECT_TRUE(neg.empty());
+}
+
+TEST(TableauTest, RuleEntailmentAndInterpolant) {
+  Sig sig;
+  TableauOptions options;
+  // Premise: P(1) ∧ ∀x (P(x) → Q(x)).  Conclusion: Q(1).
+  FormulaPtr rule = Formula::Forall(
+      {"x"}, Atom(sig.p, {V("x")}),
+      Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  FormulaPtr premise =
+      Formula::And({Formula::MakeAtom(Atom(sig.p, {C(1)})), rule});
+  FormulaPtr conclusion = Formula::MakeAtom(Atom(sig.q, {C(1)}));
+  auto result =
+      ProveAndInterpolate(sig.schema, premise, conclusion, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->proved);
+  ASSERT_TRUE(result->skolem_free);
+  // The interpolant is Q(1) (modulo simplification).
+  EXPECT_EQ(result->interpolant->ToString(sig.schema), "Q(1)");
+
+  // Theorem 4 clauses 1-3, checked with the prover itself:
+  EXPECT_TRUE(
+      *ProveEntailment(sig.schema, premise, result->interpolant, options));
+  EXPECT_TRUE(*ProveEntailment(sig.schema, result->interpolant, conclusion,
+                               options));
+  std::set<Value> premise_consts = premise->Constants();
+  std::set<Value> conclusion_consts = conclusion->Constants();
+  for (const Value& v : result->interpolant->Constants()) {
+    EXPECT_TRUE(premise_consts.count(v) > 0 &&
+                conclusion_consts.count(v) > 0);
+  }
+
+  // Clause 4: BindPatt(interpolant) ⊆ BindPatt(premise) ∪ BindPatt(conclusion).
+  BindingPatternSet allowed = premise->BindPatt();
+  for (const BindingPattern& p : conclusion->BindPatt()) allowed.insert(p);
+  for (const BindingPattern& p : result->interpolant->BindPatt()) {
+    EXPECT_TRUE(allowed.count(p) > 0)
+        << "binding pattern on relation " << p.first << " not allowed";
+  }
+}
+
+TEST(TableauTest, ChainedRules) {
+  Sig sig;
+  TableauOptions options;
+  // P(1), ∀x(P→Q), ∀x(Q→ exists y R(x,y)... keep it flat: Q(1) ⊨?
+  FormulaPtr p_rule = Formula::Forall(
+      {"x"}, Atom(sig.p, {V("x")}),
+      Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  // Conclusion ∃x (Q(x) ∧ True).
+  FormulaPtr conclusion = Formula::Exists({"x"}, Atom(sig.q, {V("x")}),
+                                          Formula::True());
+  FormulaPtr premise =
+      Formula::And({Formula::MakeAtom(Atom(sig.p, {C(5)})), p_rule});
+  auto result =
+      ProveAndInterpolate(sig.schema, premise, conclusion, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->proved);
+  // Lyndon: Q occurs positively in both sides, so only positively in the
+  // interpolant.
+  std::set<RelationId> pos, neg;
+  result->interpolant->CollectPolarities(true, pos, neg);
+  EXPECT_TRUE(neg.empty());
+}
+
+TEST(TableauTest, NonEntailmentStaysOpen) {
+  Sig sig;
+  TableauOptions options;
+  FormulaPtr rule = Formula::Forall(
+      {"x"}, Atom(sig.p, {V("x")}),
+      Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  // Q(1) does not follow from P(2) and the rule.
+  FormulaPtr premise =
+      Formula::And({Formula::MakeAtom(Atom(sig.p, {C(2)})), rule});
+  FormulaPtr conclusion = Formula::MakeAtom(Atom(sig.q, {C(1)}));
+  auto result = ProveAndInterpolate(sig.schema, premise, conclusion, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->proved);
+}
+
+TEST(TableauTest, PaperExample3EntailmentIsProvable) {
+  // Example 3: Q entails InferredAccQ with respect to the accessible schema
+  // of Example 1. Premise: Q (as an ∃-sentence) ∧ all AcSch axioms;
+  // conclusion: InferredAccQ as an ∃-sentence.
+  Scenario scenario = MakeProfinfoScenario(/*boolean_query=*/true).value();
+  auto acc = AccessibleSchema::Build(*scenario.schema,
+                                     AccessibleVariant::kStandard)
+                 .value();
+  std::vector<FormulaPtr> parts;
+  parts.push_back(QueryToSentence(scenario.query).value());
+  for (const Tgd& tgd : acc.AllAxioms()) {
+    parts.push_back(TgdToFormula(tgd).value());
+  }
+  FormulaPtr premise = Formula::And(std::move(parts));
+  FormulaPtr conclusion =
+      QueryToSentence(acc.InferredAccQuery(scenario.query)).value();
+  TableauOptions options;
+  options.max_steps = 200000;
+  auto result =
+      ProveAndInterpolate(acc.schema(), premise, conclusion, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->proved);
+
+  // Removing the accessibility axioms breaks the entailment (within the
+  // same budget): accesses are essential, not just the constraints.
+  std::vector<FormulaPtr> weak_parts;
+  weak_parts.push_back(QueryToSentence(scenario.query).value());
+  for (const Tgd& tgd : acc.original_constraints()) {
+    weak_parts.push_back(TgdToFormula(tgd).value());
+  }
+  for (const Tgd& tgd : acc.inferred_constraints()) {
+    weak_parts.push_back(TgdToFormula(tgd).value());
+  }
+  auto weak = ProveAndInterpolate(acc.schema(),
+                                  Formula::And(std::move(weak_parts)),
+                                  conclusion, options);
+  ASSERT_TRUE(weak.ok());
+  EXPECT_FALSE(weak->proved);
+}
+
+TEST(TableauTest, InterpolantSoundOnFiniteModels) {
+  // Spot-check clause 1/2 of Theorem 4 semantically: on finite instances,
+  // premise → interpolant → conclusion.
+  Sig sig;
+  TableauOptions options;
+  FormulaPtr rule = Formula::Forall(
+      {"x"}, Atom(sig.p, {V("x")}),
+      Formula::MakeAtom(Atom(sig.q, {V("x")})));
+  FormulaPtr premise =
+      Formula::And({Formula::MakeAtom(Atom(sig.p, {C(1)})), rule});
+  FormulaPtr conclusion = Formula::MakeAtom(Atom(sig.q, {C(1)}));
+  auto result = ProveAndInterpolate(sig.schema, premise, conclusion, options);
+  ASSERT_TRUE(result.ok() && result->proved);
+
+  for (int mask = 0; mask < 16; ++mask) {
+    Instance instance(&sig.schema);
+    if (mask & 1) instance.AddFact(sig.p, {Value::Int(1)});
+    if (mask & 2) instance.AddFact(sig.q, {Value::Int(1)});
+    if (mask & 4) instance.AddFact(sig.p, {Value::Int(2)});
+    if (mask & 8) instance.AddFact(sig.q, {Value::Int(2)});
+    bool premise_holds = *EvaluateSentence(*premise, instance);
+    bool interpolant_holds =
+        *EvaluateSentence(*result->interpolant, instance);
+    bool conclusion_holds = *EvaluateSentence(*conclusion, instance);
+    if (premise_holds) {
+      EXPECT_TRUE(interpolant_holds) << "mask " << mask;
+    }
+    if (interpolant_holds) {
+      EXPECT_TRUE(conclusion_holds) << "mask " << mask;
+    }
+  }
+}
+
+TEST(EncodeTest, TgdAndQueryEncodings) {
+  Sig sig;
+  Tgd tgd;
+  tgd.body = {Atom(sig.r, {V("x"), V("y")})};
+  tgd.head = {Atom(sig.s, {V("x"), V("y"), V("z")})};
+  auto formula = TgdToFormula(tgd);
+  ASSERT_TRUE(formula.ok());
+  EXPECT_EQ((*formula)->kind(), Formula::Kind::kForall);
+  EXPECT_EQ((*formula)->ToString(sig.schema),
+            "forall x,y (R(x, y) -> exists z (S(x, y, z) & true))");
+
+  ConjunctiveQuery query;
+  query.atoms = {Atom(sig.p, {V("a")}), Atom(sig.q, {V("a")})};
+  auto sentence = QueryToSentence(query);
+  ASSERT_TRUE(sentence.ok());
+  EXPECT_EQ((*sentence)->ToString(sig.schema),
+            "exists a (P(a) & (Q(a) & true))");
+}
+
+}  // namespace
+}  // namespace lcp

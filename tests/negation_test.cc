@@ -1,0 +1,369 @@
+// Tests for the Theorem 7 machinery: executable queries with ∃/∀ access
+// quantifiers, their direct evaluation, their compilation to USPJ¬ plans,
+// and the AcSch¬ proof search they are read off from.
+
+#include "lcp/planner/negation_search.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/data/query_eval.h"
+#include "lcp/planner/executable_query.h"
+#include "lcp/runtime/executor.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+/// Schema with one free relation U(x) and one checkable relation R(x).
+struct MiniWorld {
+  Schema schema;
+  RelationId u, r;
+  AccessMethodId mt_u, mt_r;
+  MiniWorld() {
+    u = schema.AddRelation("U", 1).value();
+    r = schema.AddRelation("R", 1).value();
+    mt_u = schema.AddAccessMethod("mt_u", u, {}).value();
+    mt_r = schema.AddAccessMethod("mt_r", r, {0}).value();
+  }
+};
+
+TEST(ExecutableQueryTest, ExistsChainSemantics) {
+  MiniWorld world;
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  // ∃x U(x) ∧ R(x)?
+  ExecutableQueryPtr query = ExecutableQuery::Exists(
+      world.mt_u, {x},
+      ExecutableQuery::Exists(world.mt_r, {x}, ExecutableQuery::True()));
+  EXPECT_EQ(query->depth(), 2);
+  EXPECT_FALSE(query->HasForall());
+
+  Instance instance(&world.schema);
+  instance.AddFact(world.u, {Value::Int(1)});
+  instance.AddFact(world.u, {Value::Int(2)});
+  instance.AddFact(world.r, {Value::Int(2)});
+  SimulatedSource source(&world.schema, &instance);
+  auto result = EvaluateExecutable(*query, source, arena);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+
+  // Without the witness, false.
+  Instance no_witness(&world.schema);
+  no_witness.AddFact(world.u, {Value::Int(1)});
+  no_witness.AddFact(world.r, {Value::Int(9)});
+  SimulatedSource source2(&world.schema, &no_witness);
+  EXPECT_FALSE(*EvaluateExecutable(*query, source2, arena));
+}
+
+TEST(ExecutableQueryTest, ForallSemanticsIncludingVacuousTruth) {
+  MiniWorld world;
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  // ∃x U(x) ∧ (∀ access R(x) → false): true iff some U-value is NOT in R.
+  // "false" is encoded as an access to an always-empty relation via an
+  // exists node that cannot match — here we instead test the vacuous case
+  // directly with continuation True and an instance-level check.
+  ExecutableQueryPtr vacuous = ExecutableQuery::Exists(
+      world.mt_u, {x},
+      ExecutableQuery::Forall(world.mt_r, {x}, ExecutableQuery::True()));
+
+  Instance instance(&world.schema);
+  instance.AddFact(world.u, {Value::Int(1)});
+  SimulatedSource source(&world.schema, &instance);
+  // R empty: the forall is vacuously true.
+  EXPECT_TRUE(*EvaluateExecutable(*vacuous, source, arena));
+}
+
+TEST(ExecutableQueryTest, ForallRequiresContinuationWhenFactPresent) {
+  MiniWorld world;
+  Schema& schema = world.schema;
+  RelationId s = schema.AddRelation("S", 1).value();
+  AccessMethodId mt_s = schema.AddAccessMethod("mt_s", s, {0}).value();
+
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  // ∃x U(x) ∧ (∀ R(x) → ∃ S(x)): for the picked x, if x ∈ R then x must be
+  // in S.
+  ExecutableQueryPtr query = ExecutableQuery::Exists(
+      world.mt_u, {x},
+      ExecutableQuery::Forall(
+          world.mt_r, {x},
+          ExecutableQuery::Exists(mt_s, {x}, ExecutableQuery::True())));
+  EXPECT_TRUE(query->HasForall());
+
+  // Case 1: x=1 in R and in S: true.
+  {
+    Instance instance(&schema);
+    instance.AddFact(world.u, {Value::Int(1)});
+    instance.AddFact(world.r, {Value::Int(1)});
+    instance.AddFact(s, {Value::Int(1)});
+    SimulatedSource source(&schema, &instance);
+    EXPECT_TRUE(*EvaluateExecutable(*query, source, arena));
+  }
+  // Case 2: x=1 in R but not in S: false.
+  {
+    Instance instance(&schema);
+    instance.AddFact(world.u, {Value::Int(1)});
+    instance.AddFact(world.r, {Value::Int(1)});
+    SimulatedSource source(&schema, &instance);
+    EXPECT_FALSE(*EvaluateExecutable(*query, source, arena));
+  }
+  // Case 3: x=1 not in R: vacuously true regardless of S.
+  {
+    Instance instance(&schema);
+    instance.AddFact(world.u, {Value::Int(1)});
+    SimulatedSource source(&schema, &instance);
+    EXPECT_TRUE(*EvaluateExecutable(*query, source, arena));
+  }
+  // Case 4: two U values, one bad, one good: ∃ picks the good one.
+  {
+    Instance instance(&schema);
+    instance.AddFact(world.u, {Value::Int(1)});  // in R, not in S: bad
+    instance.AddFact(world.u, {Value::Int(2)});  // not in R: vacuous, good
+    instance.AddFact(world.r, {Value::Int(1)});
+    SimulatedSource source(&schema, &instance);
+    EXPECT_TRUE(*EvaluateExecutable(*query, source, arena));
+  }
+}
+
+/// The compiled plan must agree with direct evaluation on every instance.
+class CompileAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompileAgreementTest, CompiledPlanAgreesWithEvaluator) {
+  MiniWorld world;
+  Schema& schema = world.schema;
+  RelationId s = schema.AddRelation("S", 1).value();
+  AccessMethodId mt_s = schema.AddAccessMethod("mt_s", s, {0}).value();
+
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  ExecutableQueryPtr query = ExecutableQuery::Exists(
+      world.mt_u, {x},
+      ExecutableQuery::Forall(
+          world.mt_r, {x},
+          ExecutableQuery::Exists(mt_s, {x}, ExecutableQuery::True())));
+
+  // Parameter selects which subsets of {U,R,S} hold value 1 and 2.
+  int mask = GetParam();
+  Instance instance(&schema);
+  for (int v = 1; v <= 2; ++v) {
+    int bits = (mask >> ((v - 1) * 3)) & 7;
+    if (bits & 1) instance.AddFact(world.u, {Value::Int(v)});
+    if (bits & 2) instance.AddFact(world.r, {Value::Int(v)});
+    if (bits & 4) instance.AddFact(s, {Value::Int(v)});
+  }
+
+  SimulatedSource eval_source(&schema, &instance);
+  bool direct = *EvaluateExecutable(*query, eval_source, arena);
+
+  auto plan = CompileExecutable(*query, schema, arena);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->Language(), PlanLanguage::kUspjNeg);
+  SimulatedSource plan_source(&schema, &instance);
+  auto run = ExecutePlan(*plan, plan_source);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(!run->output.empty(), direct) << "mask " << mask;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRelationMasks, CompileAgreementTest,
+                         ::testing::Range(0, 64));
+
+TEST(NegationSearchTest, FindsPositiveProofOnProfinfoSchema) {
+  Scenario scenario = MakeProfinfoScenario(/*boolean_query=*/true).value();
+  auto accessible = AccessibleSchema::Build(*scenario.schema,
+                                            AccessibleVariant::kNegative);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  TermArena arena;
+  NegSearchOptions options;
+  options.max_steps = 3;
+  auto outcome =
+      FindNegativeProof(*accessible, scenario.query, options, arena);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_GE(outcome->steps.size(), 2u);
+  ASSERT_NE(outcome->query, nullptr);
+
+  // The executable query answers the boolean query correctly.
+  Instance yes(scenario.schema.get());
+  yes.AddFact("Profinfo", {Value::Int(1), Value::Int(9), Value::Str("smith")});
+  yes.AddFact("Udirect", {Value::Int(1), Value::Str("smith")});
+  SimulatedSource yes_source(scenario.schema.get(), &yes);
+  EXPECT_TRUE(*EvaluateExecutable(*outcome->query, yes_source, arena));
+
+  Instance no(scenario.schema.get());
+  no.AddFact("Udirect", {Value::Int(3), Value::Str("smith")});
+  SimulatedSource no_source(scenario.schema.get(), &no);
+  EXPECT_FALSE(*EvaluateExecutable(*outcome->query, no_source, arena));
+
+  // And the compiled plan agrees on both instances.
+  auto plan = CompileExecutable(*outcome->query, *scenario.schema, arena);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  SimulatedSource yes2(scenario.schema.get(), &yes);
+  SimulatedSource no2(scenario.schema.get(), &no);
+  EXPECT_FALSE(ExecutePlan(*plan, yes2)->output.empty());
+  EXPECT_TRUE(ExecutePlan(*plan, no2)->output.empty());
+}
+
+TEST(NegationSearchTest, RejectsNonBooleanAndWrongVariant) {
+  Scenario scenario = MakeProfinfoScenario(/*boolean_query=*/false).value();
+  auto negative = AccessibleSchema::Build(*scenario.schema,
+                                          AccessibleVariant::kNegative);
+  ASSERT_TRUE(negative.ok());
+  TermArena arena;
+  NegSearchOptions options;
+  EXPECT_FALSE(
+      FindNegativeProof(*negative, scenario.query, options, arena).ok());
+
+  Scenario boolean = MakeProfinfoScenario(/*boolean_query=*/true).value();
+  auto standard = AccessibleSchema::Build(*boolean.schema,
+                                          AccessibleVariant::kStandard);
+  ASSERT_TRUE(standard.ok());
+  EXPECT_FALSE(
+      FindNegativeProof(*standard, boolean.query, options, arena).ok());
+}
+
+TEST(NegationSearchTest, UnanswerableStaysUnanswerable) {
+  // A single relation behind an input-requiring method with no side doors:
+  // even with negative axioms, no proof exists.
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  schema.AddAccessMethod("mt_r", r, {0}).value();
+  ConjunctiveQuery query = ParseQuery(schema, "Q() :- R(x, y)").value();
+  auto accessible =
+      AccessibleSchema::Build(schema, AccessibleVariant::kNegative);
+  ASSERT_TRUE(accessible.ok());
+  TermArena arena;
+  NegSearchOptions options;
+  options.max_steps = 4;
+  auto outcome = FindNegativeProof(*accessible, query, options, arena);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST(NegationSearchTest, NegativeStepDerivesBaseFactsThatUnlockTheProof) {
+  // Constraints: C(y) -> A(y); A(x) -> B(x); B(x) -> D(x).
+  // Access: A free; B has an all-input method; D has an all-input method;
+  // C has an all-input method. Query: Q() :- C(y), D(y).
+  // A positive-only proof exists (expose A, then C, then D) — but with a
+  // small step budget forcing the negative route is not needed; here we
+  // check that the kNegative search still finds a correct proof and that
+  // the resulting executable query is sound on instances satisfying the
+  // constraints.
+  Schema schema;
+  RelationId a = schema.AddRelation("A", 1).value();
+  RelationId b = schema.AddRelation("B", 1).value();
+  RelationId c = schema.AddRelation("C", 1).value();
+  RelationId d = schema.AddRelation("D", 1).value();
+  schema.AddAccessMethod("mt_a", a, {}).value();
+  schema.AddAccessMethod("mt_b", b, {0}).value();
+  schema.AddAccessMethod("mt_c", c, {0}).value();
+  schema.AddAccessMethod("mt_d", d, {0}).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "C(y) -> A(y)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "A(x) -> B(x)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "B(x) -> D(x)")).ok());
+  ConjunctiveQuery query = ParseQuery(schema, "Q() :- C(y), D(y)").value();
+
+  auto accessible =
+      AccessibleSchema::Build(schema, AccessibleVariant::kNegative);
+  ASSERT_TRUE(accessible.ok());
+  TermArena arena;
+  NegSearchOptions options;
+  options.max_steps = 4;
+  auto outcome = FindNegativeProof(*accessible, query, options, arena);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  // Soundness on a constraint-satisfying instance.
+  Instance instance(&schema);
+  for (int v : {1, 2}) {
+    instance.AddFact(a, {Value::Int(v)});
+    instance.AddFact(b, {Value::Int(v)});
+    instance.AddFact(d, {Value::Int(v)});
+  }
+  instance.AddFact(c, {Value::Int(1)});
+  ASSERT_TRUE(SatisfiesConstraints(instance));
+  SimulatedSource source(&schema, &instance);
+  EXPECT_TRUE(*EvaluateExecutable(*outcome->query, source, arena));
+
+  Instance empty(&schema);
+  instance.AddFact(a, {Value::Int(5)});
+  instance.AddFact(b, {Value::Int(5)});
+  instance.AddFact(d, {Value::Int(5)});
+  SimulatedSource empty_source(&schema, &empty);
+  EXPECT_FALSE(*EvaluateExecutable(*outcome->query, empty_source, arena));
+}
+
+
+TEST(NegationSearchTest, BidirectionalVariantFindsProofs) {
+  // Theorem 2's AcSch-bidirectional axioms: the same searches succeed, and
+  // the resulting executable queries remain sound on instances satisfying
+  // the constraints.
+  Scenario scenario = MakeProfinfoScenario(/*boolean_query=*/true).value();
+  auto accessible = AccessibleSchema::Build(*scenario.schema,
+                                            AccessibleVariant::kBidirectional);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  TermArena arena;
+  NegSearchOptions options;
+  options.max_steps = 3;
+  auto outcome =
+      FindNegativeProof(*accessible, scenario.query, options, arena);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  Instance yes(scenario.schema.get());
+  ASSERT_TRUE(yes.AddFact("Profinfo", {Value::Int(1), Value::Int(9),
+                                       Value::Str("smith")})
+                  .ok());
+  ASSERT_TRUE(
+      yes.AddFact("Udirect", {Value::Int(1), Value::Str("smith")}).ok());
+  SimulatedSource yes_source(scenario.schema.get(), &yes);
+  EXPECT_TRUE(*EvaluateExecutable(*outcome->query, yes_source, arena));
+
+  Instance no(scenario.schema.get());
+  SimulatedSource no_source(scenario.schema.get(), &no);
+  EXPECT_FALSE(*EvaluateExecutable(*outcome->query, no_source, arena));
+}
+
+TEST(NegationSearchTest, StandardVariantRejected) {
+  Scenario scenario = MakeProfinfoScenario(/*boolean_query=*/true).value();
+  auto standard = AccessibleSchema::Build(*scenario.schema,
+                                          AccessibleVariant::kStandard);
+  ASSERT_TRUE(standard.ok());
+  TermArena arena;
+  NegSearchOptions options;
+  EXPECT_FALSE(
+      FindNegativeProof(*standard, scenario.query, options, arena).ok());
+}
+
+TEST(ExecutableQueryTest, CompileRejectsNonGroundForall) {
+  // A ∀-access whose fact binds a fresh term: evaluable, not compilable.
+  MiniWorld world;
+  Schema& schema = world.schema;
+  RelationId pairs = schema.AddRelation("Pairs", 2).value();
+  AccessMethodId mt_pairs =
+      schema.AddAccessMethod("mt_pairs", pairs, {0}).value();
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  ChaseTermId y = arena.NewNull("y", 0);
+  ExecutableQueryPtr query = ExecutableQuery::Exists(
+      world.mt_u, {x},
+      ExecutableQuery::Forall(
+          mt_pairs, {x, y},
+          ExecutableQuery::Exists(world.mt_r, {y}, ExecutableQuery::True())));
+  auto plan = CompileExecutable(*query, schema, arena);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+
+  // But direct evaluation handles it: every pair partner of x must be in R.
+  Instance instance(&schema);
+  instance.AddFact(world.u, {Value::Int(1)});
+  instance.AddFact(pairs, {Value::Int(1), Value::Int(5)});
+  instance.AddFact(pairs, {Value::Int(1), Value::Int(6)});
+  instance.AddFact(world.r, {Value::Int(5)});
+  SimulatedSource partial(&schema, &instance);
+  EXPECT_FALSE(*EvaluateExecutable(*query, partial, arena));  // 6 not in R
+  instance.AddFact(world.r, {Value::Int(6)});
+  SimulatedSource full(&schema, &instance);
+  EXPECT_TRUE(*EvaluateExecutable(*query, full, arena));
+}
+
+}  // namespace
+}  // namespace lcp

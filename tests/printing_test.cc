@@ -1,0 +1,103 @@
+// Regression guards for the human-facing rendering paths: exploration
+// dumps, plan listings, tables, facts, statuses. These strings appear in
+// the examples and EXPERIMENTS.md, so format drift matters.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "lcp/base/strings.h"
+#include "lcp/chase/config.h"
+#include "lcp/chase/engine.h"
+#include "lcp/plan/plan.h"
+#include "lcp/ra/table.h"
+#include "lcp/schema/parser.h"
+
+namespace lcp {
+namespace {
+
+TEST(PrintingTest, StatusStreamsAsCodeAndMessage) {
+  std::ostringstream os;
+  os << NotFoundError("no plan");
+  EXPECT_EQ(os.str(), "NOT_FOUND: no plan");
+  os.str("");
+  os << Status::Ok();
+  EXPECT_EQ(os.str(), "OK");
+}
+
+TEST(PrintingTest, TableRendersAlignedColumns) {
+  Table table({"eid", "lname"});
+  table.Insert({Value::Int(1), Value::Str("smith")});
+  table.Insert({Value::Int(12345), Value::Str("j")});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("eid"), std::string::npos);
+  EXPECT_NE(out.find("\"smith\""), std::string::npos);
+  // Header plus two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(PrintingTest, NullaryTableExplainsItself) {
+  Table empty{std::vector<std::string>{}};
+  EXPECT_NE(empty.ToString().find("empty nullary"), std::string::npos);
+  Table nonempty{std::vector<std::string>{}};
+  nonempty.Insert(Tuple{});
+  EXPECT_NE(nonempty.ToString().find("one row"), std::string::npos);
+}
+
+TEST(PrintingTest, FactAndConfigRendering) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  TermArena arena;
+  ChaseTermId x = arena.NewNull("x", 0);
+  ChaseTermId smith = arena.InternConstant(Value::Str("smith"));
+  Fact fact(r, {x, smith});
+  std::string rendered = FactToString(fact, schema, arena);
+  EXPECT_EQ(rendered, StrCat("R(", arena.DisplayName(x), ", \"smith\")"));
+
+  ChaseConfig config;
+  config.Add(fact);
+  std::string dump = config.ToString(schema, arena);
+  EXPECT_NE(dump.find(rendered), std::string::npos);
+}
+
+TEST(PrintingTest, PlanListingShowsCommandsAndOutput) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  schema.AddAccessMethod("mt_r", r, {0}).value();
+  Plan plan;
+  AccessCommand access;
+  access.method = 0;
+  access.constant_inputs = {{0, Value::Int(7)}};
+  access.output_table = "t0";
+  access.output_columns = {{"a", 0}, {"b", 1}};
+  access.position_constants = {{1, Value::Int(9)}};
+  plan.commands.push_back(access);
+  plan.commands.push_back(QueryCommand{
+      "t1", RaExpr::Project(RaExpr::TempScan("t0"), {"b"})});
+  plan.output_table = "t1";
+  plan.output_attrs = {"b"};
+  std::string out = plan.ToString(schema);
+  EXPECT_NE(out.find("t0 <- mt_r <- const{pos0=7}"), std::string::npos);
+  EXPECT_NE(out.find("pos1=9"), std::string::npos);
+  EXPECT_NE(out.find("t1 := project[b](scan(t0))"), std::string::npos);
+  EXPECT_NE(out.find("output: t1[b]"), std::string::npos);
+}
+
+TEST(PrintingTest, PlanLanguageNames) {
+  EXPECT_STREQ(PlanLanguageName(PlanLanguage::kSpj), "SPJ");
+  EXPECT_STREQ(PlanLanguageName(PlanLanguage::kUspj), "USPJ");
+  EXPECT_STREQ(PlanLanguageName(PlanLanguage::kUspjNeg), "USPJ^neg");
+  EXPECT_STREQ(PlanLanguageName(PlanLanguage::kRa), "RA");
+}
+
+TEST(PrintingTest, TgdAutoNamingAndToString) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  Tgd tgd = ParseTgd(schema, "R(x, y) -> R(y, z)").value();
+  // The raw (schema-less) rendering uses relation ids.
+  EXPECT_EQ(tgd.ToString(), "R0(x, y) -> R0(y, z)");
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,235 @@
+#include "lcp/runtime/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/plan/cost.h"
+#include "lcp/runtime/source.h"
+
+namespace lcp {
+namespace {
+
+Schema MakeSchema() {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  RelationId s = schema.AddRelation("S", 2).value();
+  schema.AddAccessMethod("mt_r_free", r, {}, 2.0).value();
+  schema.AddAccessMethod("mt_s_by0", s, {0}, 5.0).value();
+  return schema;
+}
+
+Instance MakeInstance(const Schema& schema) {
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(1), Value::Int(10)});
+  instance.AddFact(0, Tuple{Value::Int(2), Value::Int(20)});
+  instance.AddFact(1, Tuple{Value::Int(10), Value::Int(100)});
+  instance.AddFact(1, Tuple{Value::Int(10), Value::Int(101)});
+  instance.AddFact(1, Tuple{Value::Int(30), Value::Int(300)});
+  return instance;
+}
+
+TEST(SimulatedSourceTest, AccessRespectsBindingAndMeters) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+
+  const auto& all = source.Access(0, {});
+  EXPECT_EQ(all.size(), 2u);
+  const auto& hits = source.Access(1, {Value::Int(10)});
+  EXPECT_EQ(hits.size(), 2u);
+  const auto& misses = source.Access(1, {Value::Int(99)});
+  EXPECT_TRUE(misses.empty());
+  // Repeated identical call counts again in total but not in distinct.
+  source.Access(1, {Value::Int(10)});
+  EXPECT_EQ(source.total_calls(), 4u);
+  EXPECT_EQ(source.distinct_pairs().size(), 3u);
+  EXPECT_DOUBLE_EQ(source.charged_cost(), 2.0 + 5.0 * 3);
+  source.ResetAccounting();
+  EXPECT_EQ(source.total_calls(), 0u);
+}
+
+TEST(ExecutorTest, AccessCommandWithInputExpression) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+
+  Plan plan;
+  // t0 <- mt_r_free; columns a (pos 0), b (pos 1).
+  AccessCommand first;
+  first.method = 0;
+  first.output_table = "t0";
+  first.output_columns = {{"a", 0}, {"b", 1}};
+  plan.commands.push_back(first);
+  // t1 <- mt_s_by0 <- project[b](t0); columns b (pos 0), c (pos 1).
+  AccessCommand second;
+  second.method = 1;
+  second.input = RaExpr::Project(RaExpr::TempScan("t0"), {"b"});
+  second.input_binding = {{"b", 0}};
+  second.output_table = "t1";
+  second.output_columns = {{"b", 0}, {"c", 1}};
+  plan.commands.push_back(second);
+  // t2 := t0 join t1.
+  plan.commands.push_back(QueryCommand{
+      "t2", RaExpr::Join(RaExpr::TempScan("t0"), RaExpr::TempScan("t1"))});
+  plan.output_table = "t2";
+  plan.output_attrs = {"a", "c"};
+
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->access_commands, 2);
+  // 1 free access + 2 distinct bindings (10, 20).
+  EXPECT_EQ(result->source_calls, 3u);
+  EXPECT_EQ(result->output.size(), 2u);  // (1,100), (1,101)
+  EXPECT_TRUE(result->output.ContainsRow({Value::Int(1), Value::Int(100)}));
+  EXPECT_TRUE(result->output.ContainsRow({Value::Int(1), Value::Int(101)}));
+}
+
+TEST(ExecutorTest, ConstantInputsAndPositionSelections) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+
+  Plan plan;
+  AccessCommand access;
+  access.method = 1;  // mt_s_by0
+  access.constant_inputs = {{0, Value::Int(10)}};
+  access.output_table = "t0";
+  access.output_columns = {{"c", 1}};
+  access.position_constants = {{1, Value::Int(101)}};
+  plan.commands.push_back(access);
+  plan.output_table = "t0";
+  plan.output_attrs = {"c"};
+
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->output.size(), 1u);
+  EXPECT_EQ(result->output.rows()[0][0], Value::Int(101));
+}
+
+TEST(ExecutorTest, PositionEqualitiesFilterTuples) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  schema.AddAccessMethod("mt", r, {}).value();
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(5), Value::Int(5)});
+  instance.AddFact(0, Tuple{Value::Int(5), Value::Int(6)});
+  SimulatedSource source(&schema, &instance);
+
+  Plan plan;
+  AccessCommand access;
+  access.method = 0;
+  access.output_table = "t";
+  access.output_columns = {{"x", 0}};
+  access.position_equalities = {{0, 1}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  plan.output_attrs = {"x"};
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.size(), 1u);
+}
+
+TEST(ExecutorTest, DuplicatedOutputColumns) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 1).value();
+  schema.AddAccessMethod("mt", r, {}).value();
+  Instance instance(&schema);
+  instance.AddFact(0, Tuple{Value::Int(3)});
+  SimulatedSource source(&schema, &instance);
+
+  Plan plan;
+  AccessCommand access;
+  access.method = 0;
+  access.output_table = "t";
+  access.output_columns = {{"x", 0}, {"x_again", 0}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  plan.output_attrs = {"x", "x_again"};
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->output.rows()[0],
+            (Tuple{Value::Int(3), Value::Int(3)}));
+}
+
+TEST(ExecutorTest, ErrorsOnUnboundInput) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand access;
+  access.method = 1;  // requires input position 0
+  access.output_table = "t";
+  access.output_columns = {{"c", 1}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  auto result = ExecutePlan(plan, source);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(ExecutorTest, ErrorsOnMissingOutputTable) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  plan.output_table = "never_made";
+  EXPECT_FALSE(ExecutePlan(plan, source).ok());
+}
+
+TEST(ExecutorTest, BooleanPlanOutputsNullaryRow) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand access;
+  access.method = 0;
+  access.output_table = "t";
+  access.output_columns = {{"a", 0}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";  // output_attrs empty -> boolean semantics
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->output.attrs().empty());
+  EXPECT_EQ(result->output.size(), 1u);
+}
+
+TEST(CostFunctionTest, SimpleCostSumsPerAccessCommand) {
+  Schema schema = MakeSchema();
+  Plan plan;
+  AccessCommand a;
+  a.method = 0;  // cost 2
+  a.output_table = "t0";
+  a.output_columns = {{"a", 0}};
+  plan.commands.push_back(a);
+  AccessCommand b;
+  b.method = 1;  // cost 5
+  b.output_table = "t1";
+  b.output_columns = {{"c", 1}};
+  plan.commands.push_back(b);
+  plan.commands.push_back(QueryCommand{"t2", RaExpr::TempScan("t0")});
+  plan.output_table = "t2";
+  SimpleCostFunction cost(&schema);
+  EXPECT_DOUBLE_EQ(cost.Cost(plan), 7.0);
+  EXPECT_DOUBLE_EQ(cost.MethodCost(1), 5.0);
+
+  WeightedAccessCostFunction weighted(&schema, {{0, 10.0}});
+  EXPECT_DOUBLE_EQ(weighted.Cost(plan), 2.0 * 10 + 5.0);
+}
+
+TEST(PlanTest, LanguageClassification) {
+  Plan spj;
+  spj.commands.push_back(QueryCommand{
+      "t", RaExpr::Join(RaExpr::TempScan("a"), RaExpr::TempScan("b"))});
+  EXPECT_EQ(spj.Language(), PlanLanguage::kSpj);
+
+  Plan uspj = spj;
+  uspj.commands.push_back(QueryCommand{
+      "u", RaExpr::Union(RaExpr::TempScan("a"), RaExpr::TempScan("b"))});
+  EXPECT_EQ(uspj.Language(), PlanLanguage::kUspj);
+
+  Plan neg = uspj;
+  neg.commands.push_back(QueryCommand{
+      "d", RaExpr::Difference(RaExpr::TempScan("a"), RaExpr::TempScan("b"))});
+  EXPECT_EQ(neg.Language(), PlanLanguage::kUspjNeg);
+}
+
+}  // namespace
+}  // namespace lcp

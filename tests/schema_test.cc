@@ -1,0 +1,149 @@
+#include "lcp/schema/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "lcp/schema/parser.h"
+
+namespace lcp {
+namespace {
+
+TEST(SchemaTest, AddAndLookupRelations) {
+  Schema schema;
+  auto r = schema.AddRelation("R", 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(schema.relation(*r).name, "R");
+  EXPECT_EQ(schema.relation(*r).arity, 2);
+  EXPECT_EQ(*schema.RelationByName("R"), *r);
+  EXPECT_FALSE(schema.RelationByName("S").ok());
+  EXPECT_FALSE(schema.AddRelation("R", 3).ok());  // duplicate
+  EXPECT_FALSE(schema.AddRelation("Neg", -1).ok());
+}
+
+TEST(SchemaTest, AccessMethodValidation) {
+  Schema schema;
+  RelationId r = *schema.AddRelation("R", 2);
+  EXPECT_TRUE(schema.AddAccessMethod("m1", r, {0}).ok());
+  EXPECT_FALSE(schema.AddAccessMethod("m1", r, {1}).ok());   // dup name
+  EXPECT_FALSE(schema.AddAccessMethod("m2", r, {2}).ok());   // out of range
+  EXPECT_FALSE(schema.AddAccessMethod("m3", r, {0, 0}).ok());  // dup pos
+  EXPECT_FALSE(schema.AddAccessMethod("m4", r, {}, 0.0).ok());  // zero cost
+  EXPECT_FALSE(schema.AddAccessMethod("m5", 99, {}).ok());   // bad relation
+  auto free = schema.AddAccessMethod("m6", r, {});
+  ASSERT_TRUE(free.ok());
+  EXPECT_TRUE(schema.access_method(*free).is_free_access());
+  EXPECT_EQ(schema.MethodsOnRelation(r).size(), 2u);
+}
+
+TEST(SchemaTest, InputPositionsSorted) {
+  Schema schema;
+  RelationId r = *schema.AddRelation("R", 3);
+  auto m = schema.AddAccessMethod("m", r, {2, 0});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(schema.access_method(*m).input_positions,
+            (std::vector<int>{0, 2}));
+}
+
+TEST(SchemaTest, ConstantsDeduplicated) {
+  Schema schema;
+  schema.AddConstant(Value::Str("smith"));
+  schema.AddConstant(Value::Str("smith"));
+  schema.AddConstant(Value::Int(3));
+  EXPECT_EQ(schema.constants().size(), 2u);
+  EXPECT_TRUE(schema.IsSchemaConstant(Value::Int(3)));
+  EXPECT_FALSE(schema.IsSchemaConstant(Value::Int(4)));
+}
+
+TEST(SchemaTest, ConstraintValidation) {
+  Schema schema;
+  RelationId r = *schema.AddRelation("R", 2);
+  RelationId s = *schema.AddRelation("S", 1);
+  Tgd good;
+  good.body = {Atom(r, {Term::Var("x"), Term::Var("y")})};
+  good.head = {Atom(s, {Term::Var("y")})};
+  EXPECT_TRUE(schema.AddConstraint(good).ok());
+  EXPECT_EQ(schema.constraints().size(), 1u);
+  EXPECT_FALSE(schema.constraints()[0].name.empty());  // auto-named
+
+  Tgd bad_arity;
+  bad_arity.body = {Atom(r, {Term::Var("x")})};
+  bad_arity.head = {Atom(s, {Term::Var("x")})};
+  EXPECT_FALSE(schema.AddConstraint(bad_arity).ok());
+}
+
+TEST(SchemaTest, AllConstraintsGuarded) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  EXPECT_TRUE(schema.AllConstraintsGuarded());  // vacuous
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "R(x,y) -> S(y,z)")).ok());
+  EXPECT_TRUE(schema.AllConstraintsGuarded());
+  ASSERT_TRUE(
+      schema.AddConstraint(*ParseTgd(schema, "R(x,y) & S(y,z) -> R(x,z)"))
+          .ok());
+  EXPECT_FALSE(schema.AllConstraintsGuarded());
+}
+
+TEST(ParserTest, ParseAtomForms) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 3).ok());
+  auto atom = schema.ParseAtom("R(x, \"smith\", -42)");
+  ASSERT_TRUE(atom.ok()) << atom.status();
+  EXPECT_TRUE(atom->terms[0].is_variable());
+  EXPECT_EQ(atom->terms[1].constant(), Value::Str("smith"));
+  EXPECT_EQ(atom->terms[2].constant(), Value::Int(-42));
+}
+
+TEST(ParserTest, ParseAtomErrors) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 1).ok());
+  EXPECT_FALSE(schema.ParseAtom("S(x)").ok());       // unknown relation
+  EXPECT_FALSE(schema.ParseAtom("R(x, y)").ok());    // arity mismatch
+  EXPECT_FALSE(schema.ParseAtom("R(x").ok());        // unterminated
+  EXPECT_FALSE(schema.ParseAtom("R(\"x)").ok());     // unterminated string
+  EXPECT_FALSE(schema.ParseAtom("(x)").ok());        // missing name
+}
+
+TEST(ParserTest, ParseZeroArityAtom) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("Nullary", 0).ok());
+  auto atom = schema.ParseAtom("Nullary()");
+  ASSERT_TRUE(atom.ok());
+  EXPECT_TRUE(atom->terms.empty());
+}
+
+TEST(ParserTest, ParseTgdAndQuery) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("S", 2).ok());
+  auto tgd = ParseTgd(schema, "R(x, y) & S(y, z) -> R(x, z)");
+  ASSERT_TRUE(tgd.ok()) << tgd.status();
+  EXPECT_EQ(tgd->body.size(), 2u);
+  EXPECT_EQ(tgd->head.size(), 1u);
+
+  auto query = ParseQuery(schema, "Q(x) :- R(x, y), S(y, x)");
+  ASSERT_TRUE(query.ok()) << query.status();
+  EXPECT_EQ(query->free_variables, (std::vector<std::string>{"x"}));
+  EXPECT_EQ(query->atoms.size(), 2u);
+
+  auto boolean = ParseQuery(schema, "Q() :- R(a, b)");
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->is_boolean());
+
+  EXPECT_FALSE(ParseTgd(schema, "R(x, y)").ok());          // no arrow
+  EXPECT_FALSE(ParseQuery(schema, "Q(x) R(x, y)").ok());   // no :-
+  EXPECT_FALSE(ParseQuery(schema, "Q(z) :- R(x, y)").ok());  // unsafe
+}
+
+TEST(ParserTest, RoundTripPrinting) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", 2).ok());
+  auto tgd = ParseTgd(schema, "R(x, y) -> R(y, z)");
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_EQ(schema.TgdToString(*tgd), "R(x, y) -> R(y, z)");
+  auto query = ParseQuery(schema, "Q(x) :- R(x, y)");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(schema.QueryToString(*query), "Q(x) :- R(x, y)");
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,104 @@
+// Sanity checks for the workload scenario builders: they must produce
+// well-formed schemas whose queries validate, with the constraint/method
+// structure DESIGN.md's experiment index relies on.
+
+#include "lcp/workload/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace lcp {
+namespace {
+
+TEST(ScenariosTest, ProfinfoShape) {
+  auto s = MakeProfinfoScenario(false);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->schema->num_relations(), 2);
+  EXPECT_EQ(s->schema->num_access_methods(), 2);
+  EXPECT_EQ(s->schema->constraints().size(), 1u);
+  EXPECT_TRUE(s->schema->IsSchemaConstant(Value::Str("smith")));
+  EXPECT_TRUE(s->schema->ValidateQuery(s->query).ok());
+  EXPECT_EQ(s->query.free_variables.size(), 1u);
+
+  auto boolean = MakeProfinfoScenario(true);
+  ASSERT_TRUE(boolean.ok());
+  EXPECT_TRUE(boolean->query.is_boolean());
+}
+
+TEST(ScenariosTest, TelephoneShape) {
+  auto s = MakeTelephoneScenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->schema->num_relations(), 4);
+  EXPECT_EQ(s->schema->num_access_methods(), 4);
+  EXPECT_EQ(s->schema->constraints().size(), 5u);
+  // All constraints are inclusion-style guarded TGDs.
+  EXPECT_TRUE(s->schema->AllConstraintsGuarded());
+}
+
+TEST(ScenariosTest, MultiSourceCostsApplied) {
+  const double costs[] = {2.5, 7.0};
+  auto s = MakeMultiSourceScenario(2, costs, 3.0);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->schema->num_relations(), 3);
+  EXPECT_DOUBLE_EQ(
+      s->schema->access_method(*s->schema->AccessMethodByName("mt_udirect1"))
+          .cost,
+      2.5);
+  EXPECT_DOUBLE_EQ(
+      s->schema->access_method(*s->schema->AccessMethodByName("mt_udirect2"))
+          .cost,
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      s->schema->access_method(*s->schema->AccessMethodByName("mt_profinfo"))
+          .cost,
+      3.0);
+  // Profinfo's method takes eid and lname — the positions the directories
+  // expose (Figure 1's T3 attributes).
+  EXPECT_EQ(
+      s->schema->access_method(*s->schema->AccessMethodByName("mt_profinfo"))
+          .input_positions,
+      (std::vector<int>{0, 2}));
+}
+
+TEST(ScenariosTest, ChainStructure) {
+  for (int len : {1, 2, 5}) {
+    auto s = MakeChainScenario(len);
+    ASSERT_TRUE(s.ok()) << len;
+    EXPECT_EQ(s->schema->num_relations(), len + 1);
+    EXPECT_EQ(static_cast<int>(s->schema->constraints().size()), len);
+    // Exactly one free method: the end of the chain.
+    int free_methods = 0;
+    for (AccessMethodId m = 0; m < s->schema->num_access_methods(); ++m) {
+      if (s->schema->access_method(m).is_free_access()) ++free_methods;
+    }
+    EXPECT_EQ(free_methods, 1);
+  }
+}
+
+TEST(ScenariosTest, ViewScenarioHasBothInclusionDirections) {
+  auto s = MakeViewScenario(3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->schema->num_relations(), 9);  // 6 base + 3 views
+  EXPECT_EQ(s->schema->constraints().size(), 6u);  // fwd + bwd per view
+  EXPECT_EQ(s->query.atoms.size(), 6u);
+  // Base relations have no methods; views are freely accessible.
+  for (RelationId r = 0; r < s->schema->num_relations(); ++r) {
+    bool is_view =
+        s->schema->relation(r).name[0] == 'V';
+    EXPECT_EQ(!s->schema->MethodsOnRelation(r).empty(), is_view)
+        << s->schema->relation(r).name;
+  }
+}
+
+TEST(ScenariosTest, CyclicGuardedIsActuallyCyclicAndGuarded) {
+  auto s = MakeCyclicGuardedScenario();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->schema->AllConstraintsGuarded());
+  ASSERT_EQ(s->schema->constraints().size(), 2u);
+  // Existential heads: the chase does not terminate without blocking.
+  for (const Tgd& tgd : s->schema->constraints()) {
+    EXPECT_FALSE(tgd.ExistentialVariables().empty());
+  }
+}
+
+}  // namespace
+}  // namespace lcp
