@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chase.dir/bench_chase.cc.o"
+  "CMakeFiles/bench_chase.dir/bench_chase.cc.o.d"
+  "bench_chase"
+  "bench_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_models.dir/bench_cost_models.cc.o"
+  "CMakeFiles/bench_cost_models.dir/bench_cost_models.cc.o.d"
+  "bench_cost_models"
+  "bench_cost_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

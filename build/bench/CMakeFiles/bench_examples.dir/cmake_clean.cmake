@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_examples.dir/bench_examples.cc.o"
+  "CMakeFiles/bench_examples.dir/bench_examples.cc.o.d"
+  "bench_examples"
+  "bench_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_exploration.dir/bench_fig1_exploration.cc.o"
+  "CMakeFiles/bench_fig1_exploration.dir/bench_fig1_exploration.cc.o.d"
+  "bench_fig1_exploration"
+  "bench_fig1_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_guarded_blocking.dir/bench_guarded_blocking.cc.o"
+  "CMakeFiles/bench_guarded_blocking.dir/bench_guarded_blocking.cc.o.d"
+  "bench_guarded_blocking"
+  "bench_guarded_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_guarded_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interpolation.dir/bench_interpolation.cc.o"
+  "CMakeFiles/bench_interpolation.dir/bench_interpolation.cc.o.d"
+  "bench_interpolation"
+  "bench_interpolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interpolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

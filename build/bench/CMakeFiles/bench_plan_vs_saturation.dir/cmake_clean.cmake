@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_vs_saturation.dir/bench_plan_vs_saturation.cc.o"
+  "CMakeFiles/bench_plan_vs_saturation.dir/bench_plan_vs_saturation.cc.o.d"
+  "bench_plan_vs_saturation"
+  "bench_plan_vs_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_vs_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_plan_vs_saturation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_scaling.dir/bench_search_scaling.cc.o"
+  "CMakeFiles/bench_search_scaling.dir/bench_search_scaling.cc.o.d"
+  "bench_search_scaling"
+  "bench_search_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

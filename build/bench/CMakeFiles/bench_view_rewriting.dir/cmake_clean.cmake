@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_view_rewriting.dir/bench_view_rewriting.cc.o"
+  "CMakeFiles/bench_view_rewriting.dir/bench_view_rewriting.cc.o.d"
+  "bench_view_rewriting"
+  "bench_view_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_view_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

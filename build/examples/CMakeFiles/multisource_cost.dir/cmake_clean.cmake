@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multisource_cost.dir/multisource_cost.cpp.o"
+  "CMakeFiles/multisource_cost.dir/multisource_cost.cpp.o.d"
+  "multisource_cost"
+  "multisource_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multisource_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multisource_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negation_plans.dir/negation_plans.cpp.o"
+  "CMakeFiles/negation_plans.dir/negation_plans.cpp.o.d"
+  "negation_plans"
+  "negation_plans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negation_plans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

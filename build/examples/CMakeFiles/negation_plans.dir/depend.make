@@ -1,0 +1,2 @@
+# Empty dependencies file for negation_plans.
+# This may be replaced when dependencies are built.

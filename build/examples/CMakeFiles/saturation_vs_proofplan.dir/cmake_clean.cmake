@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_vs_proofplan.dir/saturation_vs_proofplan.cpp.o"
+  "CMakeFiles/saturation_vs_proofplan.dir/saturation_vs_proofplan.cpp.o.d"
+  "saturation_vs_proofplan"
+  "saturation_vs_proofplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_vs_proofplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

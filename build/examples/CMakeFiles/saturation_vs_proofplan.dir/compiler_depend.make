@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for saturation_vs_proofplan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telephone_directories.dir/telephone_directories.cpp.o"
+  "CMakeFiles/telephone_directories.dir/telephone_directories.cpp.o.d"
+  "telephone_directories"
+  "telephone_directories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telephone_directories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for telephone_directories.
+# This may be replaced when dependencies are built.

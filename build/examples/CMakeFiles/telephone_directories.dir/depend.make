@@ -1,0 +1,2 @@
+# Empty dependencies file for telephone_directories.
+# This may be replaced when dependencies are built.

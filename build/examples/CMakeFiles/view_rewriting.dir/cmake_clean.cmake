@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_rewriting.dir/view_rewriting.cpp.o"
+  "CMakeFiles/view_rewriting.dir/view_rewriting.cpp.o.d"
+  "view_rewriting"
+  "view_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for view_rewriting.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lcp/accessible/accessible_schema.cc" "src/lcp/CMakeFiles/lcp.dir/accessible/accessible_schema.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/accessible/accessible_schema.cc.o.d"
+  "/root/repo/src/lcp/base/status.cc" "src/lcp/CMakeFiles/lcp.dir/base/status.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/base/status.cc.o.d"
+  "/root/repo/src/lcp/base/strings.cc" "src/lcp/CMakeFiles/lcp.dir/base/strings.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/base/strings.cc.o.d"
+  "/root/repo/src/lcp/baseline/bucket.cc" "src/lcp/CMakeFiles/lcp.dir/baseline/bucket.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/baseline/bucket.cc.o.d"
+  "/root/repo/src/lcp/baseline/saturation.cc" "src/lcp/CMakeFiles/lcp.dir/baseline/saturation.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/baseline/saturation.cc.o.d"
+  "/root/repo/src/lcp/chase/config.cc" "src/lcp/CMakeFiles/lcp.dir/chase/config.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/chase/config.cc.o.d"
+  "/root/repo/src/lcp/chase/engine.cc" "src/lcp/CMakeFiles/lcp.dir/chase/engine.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/chase/engine.cc.o.d"
+  "/root/repo/src/lcp/chase/fact.cc" "src/lcp/CMakeFiles/lcp.dir/chase/fact.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/chase/fact.cc.o.d"
+  "/root/repo/src/lcp/chase/matcher.cc" "src/lcp/CMakeFiles/lcp.dir/chase/matcher.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/chase/matcher.cc.o.d"
+  "/root/repo/src/lcp/chase/term_arena.cc" "src/lcp/CMakeFiles/lcp.dir/chase/term_arena.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/chase/term_arena.cc.o.d"
+  "/root/repo/src/lcp/data/generator.cc" "src/lcp/CMakeFiles/lcp.dir/data/generator.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/data/generator.cc.o.d"
+  "/root/repo/src/lcp/data/instance.cc" "src/lcp/CMakeFiles/lcp.dir/data/instance.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/data/instance.cc.o.d"
+  "/root/repo/src/lcp/data/query_eval.cc" "src/lcp/CMakeFiles/lcp.dir/data/query_eval.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/data/query_eval.cc.o.d"
+  "/root/repo/src/lcp/interp/encode.cc" "src/lcp/CMakeFiles/lcp.dir/interp/encode.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/interp/encode.cc.o.d"
+  "/root/repo/src/lcp/interp/formula.cc" "src/lcp/CMakeFiles/lcp.dir/interp/formula.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/interp/formula.cc.o.d"
+  "/root/repo/src/lcp/interp/model_check.cc" "src/lcp/CMakeFiles/lcp.dir/interp/model_check.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/interp/model_check.cc.o.d"
+  "/root/repo/src/lcp/interp/tableau.cc" "src/lcp/CMakeFiles/lcp.dir/interp/tableau.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/interp/tableau.cc.o.d"
+  "/root/repo/src/lcp/logic/atom.cc" "src/lcp/CMakeFiles/lcp.dir/logic/atom.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/atom.cc.o.d"
+  "/root/repo/src/lcp/logic/conjunctive_query.cc" "src/lcp/CMakeFiles/lcp.dir/logic/conjunctive_query.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/conjunctive_query.cc.o.d"
+  "/root/repo/src/lcp/logic/containment.cc" "src/lcp/CMakeFiles/lcp.dir/logic/containment.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/containment.cc.o.d"
+  "/root/repo/src/lcp/logic/term.cc" "src/lcp/CMakeFiles/lcp.dir/logic/term.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/term.cc.o.d"
+  "/root/repo/src/lcp/logic/tgd.cc" "src/lcp/CMakeFiles/lcp.dir/logic/tgd.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/tgd.cc.o.d"
+  "/root/repo/src/lcp/logic/value.cc" "src/lcp/CMakeFiles/lcp.dir/logic/value.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/logic/value.cc.o.d"
+  "/root/repo/src/lcp/plan/cardinality_cost.cc" "src/lcp/CMakeFiles/lcp.dir/plan/cardinality_cost.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/plan/cardinality_cost.cc.o.d"
+  "/root/repo/src/lcp/plan/cost.cc" "src/lcp/CMakeFiles/lcp.dir/plan/cost.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/plan/cost.cc.o.d"
+  "/root/repo/src/lcp/plan/plan.cc" "src/lcp/CMakeFiles/lcp.dir/plan/plan.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/plan/plan.cc.o.d"
+  "/root/repo/src/lcp/plan/validate.cc" "src/lcp/CMakeFiles/lcp.dir/plan/validate.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/plan/validate.cc.o.d"
+  "/root/repo/src/lcp/planner/executable_query.cc" "src/lcp/CMakeFiles/lcp.dir/planner/executable_query.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/planner/executable_query.cc.o.d"
+  "/root/repo/src/lcp/planner/negation_search.cc" "src/lcp/CMakeFiles/lcp.dir/planner/negation_search.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/planner/negation_search.cc.o.d"
+  "/root/repo/src/lcp/planner/proof_search.cc" "src/lcp/CMakeFiles/lcp.dir/planner/proof_search.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/planner/proof_search.cc.o.d"
+  "/root/repo/src/lcp/ra/eval.cc" "src/lcp/CMakeFiles/lcp.dir/ra/eval.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/ra/eval.cc.o.d"
+  "/root/repo/src/lcp/ra/expr.cc" "src/lcp/CMakeFiles/lcp.dir/ra/expr.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/ra/expr.cc.o.d"
+  "/root/repo/src/lcp/ra/table.cc" "src/lcp/CMakeFiles/lcp.dir/ra/table.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/ra/table.cc.o.d"
+  "/root/repo/src/lcp/runtime/executor.cc" "src/lcp/CMakeFiles/lcp.dir/runtime/executor.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/runtime/executor.cc.o.d"
+  "/root/repo/src/lcp/runtime/source.cc" "src/lcp/CMakeFiles/lcp.dir/runtime/source.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/runtime/source.cc.o.d"
+  "/root/repo/src/lcp/schema/parser.cc" "src/lcp/CMakeFiles/lcp.dir/schema/parser.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/schema/parser.cc.o.d"
+  "/root/repo/src/lcp/schema/schema.cc" "src/lcp/CMakeFiles/lcp.dir/schema/schema.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/schema/schema.cc.o.d"
+  "/root/repo/src/lcp/workload/scenarios.cc" "src/lcp/CMakeFiles/lcp.dir/workload/scenarios.cc.o" "gcc" "src/lcp/CMakeFiles/lcp.dir/workload/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

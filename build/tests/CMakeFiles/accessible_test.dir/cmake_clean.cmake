@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accessible_test.dir/accessible_test.cc.o"
+  "CMakeFiles/accessible_test.dir/accessible_test.cc.o.d"
+  "accessible_test"
+  "accessible_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accessible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negation_test.dir/negation_test.cc.o"
+  "CMakeFiles/negation_test.dir/negation_test.cc.o.d"
+  "negation_test"
+  "negation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_extra_test.dir/plan_extra_test.cc.o"
+  "CMakeFiles/plan_extra_test.dir/plan_extra_test.cc.o.d"
+  "plan_extra_test"
+  "plan_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printing_test.dir/printing_test.cc.o"
+  "CMakeFiles/printing_test.dir/printing_test.cc.o.d"
+  "printing_test"
+  "printing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_test.dir/ra_test.cc.o"
+  "CMakeFiles/ra_test.dir/ra_test.cc.o.d"
+  "ra_test"
+  "ra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

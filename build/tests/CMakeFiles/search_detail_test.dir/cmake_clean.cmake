@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_detail_test.dir/search_detail_test.cc.o"
+  "CMakeFiles/search_detail_test.dir/search_detail_test.cc.o.d"
+  "search_detail_test"
+  "search_detail_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_detail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
