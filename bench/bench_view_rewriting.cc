@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/strings.h"
 #include "lcp/baseline/bucket.h"
 #include "lcp/planner/proof_search.h"
 #include "lcp/schema/parser.h"
@@ -23,11 +24,10 @@ std::vector<ViewDefinition> MakeViews(const Schema& schema, int num_views) {
   std::vector<ViewDefinition> views;
   for (int i = 0; i < num_views; ++i) {
     ViewDefinition view;
-    view.view = schema.RelationByName("V" + std::to_string(i)).value();
+    view.view = schema.RelationByName(StrCat("V", i)).value();
     view.definition =
-        ParseQuery(schema, "V(x, z) :- B" + std::to_string(2 * i) +
-                               "(x, y), B" + std::to_string(2 * i + 1) +
-                               "(y, z)")
+        ParseQuery(schema, StrCat("V(x, z) :- B", 2 * i, "(x, y), B",
+                                  2 * i + 1, "(y, z)"))
             .value();
     views.push_back(std::move(view));
   }

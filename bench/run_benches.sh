@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the chase benchmark suite and records the perf trajectory as JSON.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  cmake build directory containing bench/bench_chase
+#              (default: build)
+#   OUT_JSON   output path for the google-benchmark JSON report
+#              (default: BENCH_chase.json in the current directory)
+#
+# The report includes BM_ChaseTransitiveClosure in both evaluation modes
+# (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase), which
+# is the headline naive-vs-delta comparison.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_chase.json}"
+BENCH_BIN="${BUILD_DIR}/bench/bench_chase"
+
+if [[ ! -x "${BENCH_BIN}" ]]; then
+  echo "error: ${BENCH_BIN} not found; build first:" >&2
+  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+"${BENCH_BIN}" \
+  --benchmark_out="${OUT_JSON}" \
+  --benchmark_out_format=json \
+  ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
+
+echo "wrote ${OUT_JSON}"

@@ -1,9 +1,13 @@
 #include "lcp/chase/config.h"
 
-#include <algorithm>
 #include <sstream>
 
 namespace lcp {
+
+namespace {
+const std::vector<int> kNoFacts;
+const std::vector<ChaseTermId> kNoTerms;
+}  // namespace
 
 bool ChaseConfig::Add(const Fact& fact) {
   if (!index_.insert(fact).second) return false;
@@ -12,21 +16,43 @@ bool ChaseConfig::Add(const Fact& fact) {
   return true;
 }
 
-const std::vector<int>& ChaseConfig::FactsOf(RelationId relation) const {
-  static const std::vector<int> kEmpty;
-  auto it = by_relation_.find(relation);
-  return it == by_relation_.end() ? kEmpty : it->second;
+void ChaseConfig::CatchUpPositionalIndex() const {
+  for (size_t i = indexed_up_to_; i < facts_.size(); ++i) {
+    const Fact& fact = facts_[i];
+    for (int32_t pos = 0; pos < static_cast<int32_t>(fact.terms.size());
+         ++pos) {
+      std::vector<int>& bucket =
+          by_position_[PosTermKey{fact.relation, pos, fact.terms[pos]}];
+      if (bucket.empty()) {
+        // First occurrence of this term at (relation, position): record it in
+        // the distinct-terms index.
+        terms_at_[PosKey{fact.relation, pos}].push_back(fact.terms[pos]);
+      }
+      bucket.push_back(static_cast<int>(i));
+    }
+  }
+  indexed_up_to_ = facts_.size();
 }
 
-std::vector<ChaseTermId> ChaseConfig::TermsAt(RelationId relation,
-                                              int position) const {
-  std::vector<ChaseTermId> terms;
-  std::unordered_set<ChaseTermId> seen;
-  for (int idx : FactsOf(relation)) {
-    ChaseTermId t = facts_[idx].terms[position];
-    if (seen.insert(t).second) terms.push_back(t);
-  }
-  return terms;
+const std::vector<int>& ChaseConfig::FactsOf(RelationId relation) const {
+  auto it = by_relation_.find(relation);
+  return it == by_relation_.end() ? kNoFacts : it->second;
+}
+
+const std::vector<int>& ChaseConfig::FactsWith(RelationId relation,
+                                               int position,
+                                               ChaseTermId term) const {
+  if (indexed_up_to_ < facts_.size()) CatchUpPositionalIndex();
+  auto it = by_position_.find(
+      PosTermKey{relation, static_cast<int32_t>(position), term});
+  return it == by_position_.end() ? kNoFacts : it->second;
+}
+
+const std::vector<ChaseTermId>& ChaseConfig::TermsAt(RelationId relation,
+                                                     int position) const {
+  if (indexed_up_to_ < facts_.size()) CatchUpPositionalIndex();
+  auto it = terms_at_.find(PosKey{relation, static_cast<int32_t>(position)});
+  return it == terms_at_.end() ? kNoTerms : it->second;
 }
 
 std::string ChaseConfig::ToString(const Schema& schema,

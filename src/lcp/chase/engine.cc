@@ -1,7 +1,7 @@
 #include "lcp/chase/engine.h"
 
 #include <algorithm>
-#include <sstream>
+#include <cstdint>
 
 #include "lcp/base/strings.h"
 
@@ -13,9 +13,10 @@ CompiledTgd CompileTgd(const Tgd& tgd, TermArena& arena) {
   compiled.body = CompileAtoms(tgd.body, compiled.vars, arena);
   const int body_vars = compiled.vars.size();
   compiled.head = CompileAtoms(tgd.head, compiled.vars, arena);
-  compiled.in_body.assign(compiled.vars.size(), false);
+  const int num_vars = compiled.vars.size();
+  compiled.in_body.assign(num_vars, false);
   for (int i = 0; i < body_vars; ++i) compiled.in_body[i] = true;
-  for (int i = 0; i < compiled.vars.size(); ++i) {
+  for (int i = 0; i < num_vars; ++i) {
     if (compiled.in_body[i]) {
       // Frontier = body variables that also occur in the head.
       bool in_head = false;
@@ -39,13 +40,20 @@ ChaseEngine::ChaseEngine(const Schema* schema, TermArena* arena)
 
 namespace {
 
-/// Canonical signature of a trigger's "guarded bag" (§5 blocking): the TGD
-/// plus the isomorphism type of all configuration facts whose terms all lie
-/// in the trigger's frontier image (constants kept concrete, nulls renamed
-/// by first occurrence).
-std::string BagSignature(const CompiledTgd& tgd,
-                         const std::vector<ChaseTermId>& assignment,
-                         const ChaseConfig& config) {
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+/// Canonical hash of a trigger's "guarded bag" (§5 blocking): the TGD plus
+/// the isomorphism type of all configuration facts whose terms all lie in
+/// the trigger's frontier image (constants kept concrete, nulls renamed by
+/// first occurrence in insertion order). Structural hashing replaces the
+/// former string signature, eliminating the per-trigger allocations; a
+/// 64-bit collision can only block an extra trigger, the same failure class
+/// the blocking condition already tolerates (see DESIGN.md).
+uint64_t BagSignature(const CompiledTgd& tgd,
+                      const std::vector<ChaseTermId>& assignment,
+                      const ChaseConfig& config) {
   std::vector<ChaseTermId> frontier_terms;
   for (int v : tgd.frontier_vars) frontier_terms.push_back(assignment[v]);
   std::sort(frontier_terms.begin(), frontier_terms.end());
@@ -57,8 +65,8 @@ std::string BagSignature(const CompiledTgd& tgd,
     return TermArena::IsConstant(t) ||
            std::binary_search(frontier_terms.begin(), frontier_terms.end(), t);
   };
-  std::unordered_map<ChaseTermId, int> canon;
-  std::vector<std::string> fact_sigs;
+  std::unordered_map<ChaseTermId, uint64_t> canon;
+  std::vector<uint64_t> fact_hashes;
   for (const Fact& fact : config.facts()) {
     bool local = true;
     for (ChaseTermId t : fact.terms) {
@@ -68,20 +76,24 @@ std::string BagSignature(const CompiledTgd& tgd,
       }
     }
     if (!local) continue;
-    std::ostringstream os;
-    os << fact.relation << ":";
+    uint64_t h =
+        static_cast<uint32_t>(fact.relation) * 0x9e3779b97f4a7c15ULL;
     for (ChaseTermId t : fact.terms) {
       if (TermArena::IsConstant(t)) {
-        os << "c" << t << ",";
+        // Tag constants apart from canonicalized nulls.
+        h = HashCombine(
+            h, (static_cast<uint64_t>(static_cast<uint32_t>(t)) << 1) | 1);
       } else {
-        auto [it, inserted] = canon.emplace(t, static_cast<int>(canon.size()));
-        os << "n" << it->second << ",";
+        auto [it, inserted] = canon.emplace(t, canon.size());
+        h = HashCombine(h, it->second << 1);
       }
     }
-    fact_sigs.push_back(os.str());
+    fact_hashes.push_back(h);
   }
-  std::sort(fact_sigs.begin(), fact_sigs.end());
-  return StrCat(tgd.source->name, "|", StrJoin(fact_sigs, ";"));
+  std::sort(fact_hashes.begin(), fact_hashes.end());
+  uint64_t sig = std::hash<std::string>{}(tgd.source->name);
+  for (uint64_t fh : fact_hashes) sig = sig * 1099511628211ULL + fh;
+  return sig;
 }
 
 struct Trigger {
@@ -89,42 +101,109 @@ struct Trigger {
   std::vector<ChaseTermId> assignment;
 };
 
+/// Restricted-chase witness check: true if the head already holds under
+/// `assignment`. With no existential variables the head is fully ground, so
+/// each head fact is a single hash lookup; otherwise the existential
+/// positions are left free and the matcher searches for a witness.
+bool HeadWitnessed(const CompiledTgd& tgd,
+                   const std::vector<ChaseTermId>& assignment,
+                   const ChaseConfig& config, MatchStats* stats) {
+  if (tgd.existential_vars.empty()) {
+    Fact fact;
+    for (const PatternAtom& atom : tgd.head) {
+      fact.relation = atom.relation;
+      fact.terms.clear();
+      fact.terms.reserve(atom.slots.size());
+      for (const auto& slot : atom.slots) {
+        fact.terms.push_back(slot.is_variable ? assignment[slot.var_index]
+                                              : slot.term);
+      }
+      if (!config.Contains(fact)) return false;
+    }
+    return true;
+  }
+  std::vector<ChaseTermId> head_assignment(assignment);
+  for (int v : tgd.existential_vars) head_assignment[v] = kUnboundTerm;
+  return HasHomomorphism(tgd.head, config, std::move(head_assignment),
+                         MatchOptions{nullptr, stats});
+}
+
 }  // namespace
 
 Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
                                     const ChaseOptions& options,
                                     ChaseConfig& config) {
   ChaseStats stats;
-  std::unordered_set<std::string> fired_bags;
+  std::unordered_set<uint64_t> fired_bags;
+  const bool seminaive =
+      options.evaluation_mode == ChaseEvaluationMode::kSemiNaive;
+  MatchStats match_stats;
+  const MatchOptions plain_match{nullptr, &match_stats};
+  auto flush_match_stats = [&] {
+    stats.index_probes = match_stats.index_probes;
+    stats.candidates_scanned = match_stats.candidates_scanned;
+  };
+  // Semi-naïve delta discipline: facts with index < delta_begin were already
+  // visible before the previous round's additions; [delta_begin, round_end)
+  // is the current delta. Facts added during a round become the next delta.
+  size_t delta_begin = 0;
   bool progress = true;
   while (progress) {
     progress = false;
     ++stats.rounds;
+    const size_t round_end = config.size();
     for (size_t t = 0; t < tgds.size(); ++t) {
       const CompiledTgd& tgd = tgds[t];
       // Collect the current triggers first: firing mutates the config, which
       // would invalidate the enumeration.
       std::vector<Trigger> triggers;
       std::vector<ChaseTermId> assignment(tgd.vars.size(), kUnboundTerm);
-      EnumerateHomomorphisms(
-          tgd.body, config, assignment,
-          [&](const std::vector<ChaseTermId>& full) {
-            // Restricted chase: skip if the head already has a witness.
-            std::vector<ChaseTermId> head_assignment(full);
-            for (int v : tgd.existential_vars) {
-              head_assignment[v] = kUnboundTerm;
+      auto collect = [&](const std::vector<ChaseTermId>& full) {
+        ++stats.triggers_enumerated;
+        // Restricted chase: skip if the head already has a witness.
+        if (HeadWitnessed(tgd, full, config, &match_stats)) {
+          ++stats.witness_skips;
+        } else {
+          triggers.push_back(Trigger{static_cast<int>(t), full});
+        }
+        return true;
+      };
+      if (!seminaive) {
+        // Naive oracle: full re-enumeration against the current config.
+        EnumerateHomomorphisms(tgd.body, config, assignment, collect,
+                               plain_match);
+      } else {
+        // Pin each body atom in turn to the delta; earlier atoms are
+        // restricted to pre-delta facts and later ones to the round
+        // snapshot, so the pinned passes partition the new matches exactly
+        // (classic semi-naïve rewriting). In the first round the delta is
+        // the whole snapshot and only the first pass can produce matches.
+        std::vector<FactWindow> windows(tgd.body.size());
+        const size_t pins = delta_begin == 0 ? std::min<size_t>(
+                                                   1, tgd.body.size())
+                                             : tgd.body.size();
+        for (size_t pin = 0; pin < pins; ++pin) {
+          for (size_t a = 0; a < tgd.body.size(); ++a) {
+            if (a < pin) {
+              windows[a] = FactWindow{0, static_cast<int>(delta_begin)};
+            } else if (a == pin) {
+              windows[a] = FactWindow{static_cast<int>(delta_begin),
+                                      static_cast<int>(round_end)};
+            } else {
+              windows[a] = FactWindow{0, static_cast<int>(round_end)};
             }
-            if (!HasHomomorphism(tgd.head, config, head_assignment)) {
-              triggers.push_back(
-                  Trigger{static_cast<int>(t), full});
-            }
-            return true;
-          });
+          }
+          ++stats.delta_enumerations;
+          EnumerateHomomorphisms(tgd.body, config, assignment, collect,
+                                 MatchOptions{windows.data(), &match_stats});
+        }
+      }
       for (Trigger& trigger : triggers) {
         // Re-check: an earlier firing in this round may have satisfied it.
-        std::vector<ChaseTermId> head_assignment(trigger.assignment);
-        for (int v : tgd.existential_vars) head_assignment[v] = kUnboundTerm;
-        if (HasHomomorphism(tgd.head, config, head_assignment)) continue;
+        if (HeadWitnessed(tgd, trigger.assignment, config, &match_stats)) {
+          ++stats.witness_skips;
+          continue;
+        }
 
         // Depth accounting: new nulls live one level below the deepest
         // frontier term.
@@ -144,7 +223,7 @@ Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
         }
         if (options.use_guarded_blocking && all_frontier_deep_nulls &&
             !tgd.existential_vars.empty()) {
-          std::string sig = BagSignature(tgd, trigger.assignment, config);
+          uint64_t sig = BagSignature(tgd, trigger.assignment, config);
           if (!fired_bags.insert(sig).second) {
             ++stats.blocked_triggers;
             continue;
@@ -152,6 +231,7 @@ Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
         }
 
         if (stats.firings >= options.max_firings) {
+          flush_match_stats();
           if (options.fail_on_firing_cap) {
             return ResourceExhaustedError(
                 StrCat("chase exceeded ", options.max_firings, " firings"));
@@ -180,8 +260,16 @@ Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
         progress = true;
       }
     }
+    if (seminaive) {
+      // Everything visible this round is "old" next round; the facts added
+      // while firing form the next delta. No new facts means no new
+      // triggers are derivable: fixpoint.
+      delta_begin = round_end;
+      progress = config.size() > round_end;
+    }
   }
   stats.reached_fixpoint = true;
+  flush_match_stats();
   return stats;
 }
 

@@ -16,6 +16,18 @@
 
 namespace lcp {
 
+/// How ChaseEngine::Run enumerates triggers (see DESIGN.md, "Chase engine
+/// internals").
+enum class ChaseEvaluationMode {
+  /// Re-enumerate every body homomorphism of every TGD each round. Kept as a
+  /// differential-testing oracle for the semi-naïve path.
+  kNaive,
+  /// Semi-naïve (delta-driven): after the first round, only enumerate
+  /// triggers whose body match uses at least one fact added in the previous
+  /// round, by pinning each body atom in turn to the delta.
+  kSemiNaive,
+};
+
 /// Controls chase termination. The restricted chase is used throughout: a
 /// trigger fires only if its head has no witness in the configuration (§4,
 /// "candidate match").
@@ -33,6 +45,9 @@ struct ChaseOptions {
   bool use_guarded_blocking = false;
   /// If true, hitting max_firings is an error instead of a silent stop.
   bool fail_on_firing_cap = true;
+  /// Trigger-enumeration strategy. Semi-naïve is the default; the naive mode
+  /// stays available as a reference oracle.
+  ChaseEvaluationMode evaluation_mode = ChaseEvaluationMode::kSemiNaive;
 };
 
 struct ChaseStats {
@@ -42,6 +57,17 @@ struct ChaseStats {
   bool reached_fixpoint = false;
   int blocked_triggers = 0;
   int depth_capped_triggers = 0;
+  /// Body homomorphisms enumerated (before the head-witness check).
+  int triggers_enumerated = 0;
+  /// Triggers dropped because the head already had a witness (at collection
+  /// time or on the pre-firing re-check).
+  int witness_skips = 0;
+  /// Semi-naïve only: pinned (one-atom-in-delta) enumeration passes run.
+  int delta_enumerations = 0;
+  /// Positional-index buckets probed by the matcher on behalf of this run.
+  long long index_probes = 0;
+  /// Candidate facts scanned by the matcher's unification loop.
+  long long candidates_scanned = 0;
 };
 
 /// A TGD compiled against a shared arena for fast re-firing.

@@ -39,49 +39,79 @@ std::vector<PatternAtom> CompileAtoms(const std::vector<Atom>& atoms,
 
 namespace {
 
-/// Counts bound slots of `atom` under `assignment` (constants count).
-int BoundSlots(const PatternAtom& atom,
-               const std::vector<ChaseTermId>& assignment) {
-  int bound = 0;
-  for (const auto& slot : atom.slots) {
-    if (!slot.is_variable || assignment[slot.var_index] != kUnboundTerm) {
-      ++bound;
+/// A contiguous run of candidate fact indexes (ascending).
+struct CandidateSpan {
+  const int* begin = nullptr;
+  const int* end = nullptr;
+  size_t size() const { return static_cast<size_t>(end - begin); }
+};
+
+/// The cheapest candidate list for `atom` under `assignment`: the smallest
+/// positional-index bucket over its bound slots (constants and bound
+/// variables), falling back to the relation extension when nothing is bound,
+/// clipped to the atom's fact window. Index buckets and relation extensions
+/// are ascending, so window clipping is a binary search.
+CandidateSpan BestCandidates(const PatternAtom& atom, int atom_index,
+                             const ChaseConfig& config,
+                             const std::vector<ChaseTermId>& assignment,
+                             const MatchOptions& options) {
+  const std::vector<int>* list = &config.FactsOf(atom.relation);
+  // Small extensions are cheaper to scan than to index-probe (and probing
+  // would force lazy index maintenance on small, copy-heavy configs).
+  if (list->size() > ChaseConfig::kIndexProbeThreshold) {
+    for (size_t s = 0; s < atom.slots.size() && !list->empty(); ++s) {
+      const auto& slot = atom.slots[s];
+      ChaseTermId bound =
+          slot.is_variable ? assignment[slot.var_index] : slot.term;
+      if (bound == kUnboundTerm) continue;
+      const std::vector<int>& bucket =
+          config.FactsWith(atom.relation, static_cast<int>(s), bound);
+      if (options.stats != nullptr) ++options.stats->index_probes;
+      if (bucket.size() < list->size()) list = &bucket;
     }
   }
-  return bound;
+  CandidateSpan span{list->data(), list->data() + list->size()};
+  if (options.windows != nullptr) {
+    const FactWindow& window = options.windows[atom_index];
+    span.begin = std::lower_bound(span.begin, span.end, window.begin);
+    span.end = std::lower_bound(span.begin, span.end, window.end);
+  }
+  return span;
 }
 
 bool MatchRecursive(
     const std::vector<PatternAtom>& atoms, std::vector<bool>& done,
     size_t remaining, const ChaseConfig& config,
     std::vector<ChaseTermId>& assignment,
-    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match) {
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match,
+    const MatchOptions& options) {
   if (remaining == 0) {
     return on_match(assignment);
   }
-  // Pick the pending atom with the most bound slots; break ties toward the
-  // smaller relation extension.
+  // Pick the pending atom with the fewest candidates.
   int best = -1;
-  int best_bound = -1;
-  size_t best_extension = 0;
+  CandidateSpan best_span;
+  size_t best_size = std::numeric_limits<size_t>::max();
   for (size_t i = 0; i < atoms.size(); ++i) {
     if (done[i]) continue;
-    int bound = BoundSlots(atoms[i], assignment);
-    size_t extension = config.FactsOf(atoms[i].relation).size();
-    if (bound > best_bound ||
-        (bound == best_bound && extension < best_extension)) {
+    CandidateSpan span = BestCandidates(atoms[i], static_cast<int>(i), config,
+                                        assignment, options);
+    if (span.size() < best_size) {
       best = static_cast<int>(i);
-      best_bound = bound;
-      best_extension = extension;
+      best_span = span;
+      best_size = span.size();
+      if (best_size == 0) break;  // No match possible: prune immediately.
     }
   }
   const PatternAtom& atom = atoms[best];
   done[best] = true;
   bool keep_going = true;
-  for (int fact_idx : config.FactsOf(atom.relation)) {
-    const Fact& fact = config.facts()[fact_idx];
+  std::vector<int> newly_bound;
+  for (const int* it = best_span.begin; it != best_span.end; ++it) {
+    const Fact& fact = config.facts()[*it];
+    if (options.stats != nullptr) ++options.stats->candidates_scanned;
     // Try to unify `fact` with `atom` under the current assignment.
-    std::vector<int> newly_bound;
+    newly_bound.clear();
     bool consistent = true;
     for (size_t s = 0; s < atom.slots.size() && consistent; ++s) {
       const auto& slot = atom.slots[s];
@@ -97,7 +127,7 @@ bool MatchRecursive(
     }
     if (consistent) {
       keep_going = MatchRecursive(atoms, done, remaining - 1, config,
-                                  assignment, on_match);
+                                  assignment, on_match, options);
     }
     for (int v : newly_bound) assignment[v] = kUnboundTerm;
     if (!keep_going) break;
@@ -111,24 +141,29 @@ bool MatchRecursive(
 void EnumerateHomomorphisms(
     const std::vector<PatternAtom>& atoms, const ChaseConfig& config,
     std::vector<ChaseTermId>& assignment,
-    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match) {
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match,
+    const MatchOptions& options) {
   if (atoms.empty()) {
     on_match(assignment);
     return;
   }
   std::vector<bool> done(atoms.size(), false);
-  MatchRecursive(atoms, done, atoms.size(), config, assignment, on_match);
+  MatchRecursive(atoms, done, atoms.size(), config, assignment, on_match,
+                 options);
 }
 
 bool HasHomomorphism(const std::vector<PatternAtom>& atoms,
                      const ChaseConfig& config,
-                     std::vector<ChaseTermId> assignment) {
+                     std::vector<ChaseTermId> assignment,
+                     const MatchOptions& options) {
   bool found = false;
-  EnumerateHomomorphisms(atoms, config, assignment,
-                         [&](const std::vector<ChaseTermId>&) {
-                           found = true;
-                           return false;
-                         });
+  EnumerateHomomorphisms(
+      atoms, config, assignment,
+      [&](const std::vector<ChaseTermId>&) {
+        found = true;
+        return false;
+      },
+      options);
   return found;
 }
 

@@ -2,6 +2,7 @@
 #define LCP_CHASE_MATCHER_H_
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,23 +45,51 @@ class VariableTable {
 std::vector<PatternAtom> CompileAtoms(const std::vector<Atom>& atoms,
                                       VariableTable& vars, TermArena& arena);
 
+/// Half-open range of fact indexes an atom is allowed to match. Used by the
+/// semi-naïve chase to pin one body atom to the delta (facts added last
+/// round) and restrict the others to older strata.
+struct FactWindow {
+  int begin = 0;
+  int end = std::numeric_limits<int>::max();
+};
+
+/// Counters filled in during homomorphism enumeration (perf accounting).
+struct MatchStats {
+  /// Positional-index buckets probed while seeding candidate lists.
+  long long index_probes = 0;
+  /// Candidate facts scanned by the unification loop.
+  long long candidates_scanned = 0;
+};
+
+/// Optional knobs for EnumerateHomomorphisms.
+struct MatchOptions {
+  /// Per-atom fact windows, indexed like `atoms`; nullptr = unconstrained.
+  const FactWindow* windows = nullptr;
+  /// If non-null, incremented (never reset) during enumeration.
+  MatchStats* stats = nullptr;
+};
+
 /// Enumerates homomorphisms of `atoms` into `config`, extending the partial
 /// `assignment` (kUnboundTerm marks free slots). Invokes `on_match` with the
 /// full assignment for each; returning false stops enumeration. The
 /// assignment vector is restored to its input state afterwards.
 ///
-/// Atom order is chosen greedily at each step (most-bound atom first), which
-/// keeps the backtracking join cheap on the star/chain shapes that dominate
-/// chase workloads.
+/// Atom order is chosen greedily at each step: every pending atom's cheapest
+/// candidate list — the smallest positional-index bucket over its bound
+/// slots, clipped to its fact window — is sized, and the atom with the
+/// fewest candidates is matched next. This seeds the backtracking join from
+/// index lookups instead of full relation scans.
 void EnumerateHomomorphisms(
     const std::vector<PatternAtom>& atoms, const ChaseConfig& config,
     std::vector<ChaseTermId>& assignment,
-    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match);
+    const std::function<bool(const std::vector<ChaseTermId>&)>& on_match,
+    const MatchOptions& options = {});
 
 /// Convenience: true if at least one homomorphism extends `assignment`.
 bool HasHomomorphism(const std::vector<PatternAtom>& atoms,
                      const ChaseConfig& config,
-                     std::vector<ChaseTermId> assignment);
+                     std::vector<ChaseTermId> assignment,
+                     const MatchOptions& options = {});
 
 }  // namespace lcp
 

@@ -259,8 +259,19 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
 
   // Facts induced by firing: all base facts over the same relation agreeing
   // with the exposed fact on the method's input positions, not yet accessed.
+  // Seed the scan from the most selective positional-index bucket over the
+  // method's input positions instead of the full relation extension.
+  const std::vector<int>* candidates =
+      &nodes_[node_id].config.FactsOf(exposed.relation);
+  if (candidates->size() > ChaseConfig::kIndexProbeThreshold) {
+    for (int pos : method.input_positions) {
+      const std::vector<int>& bucket = nodes_[node_id].config.FactsWith(
+          exposed.relation, pos, exposed.terms[pos]);
+      if (bucket.size() < candidates->size()) candidates = &bucket;
+    }
+  }
   std::vector<Fact> induced;
-  for (int idx : nodes_[node_id].config.FactsOf(exposed.relation)) {
+  for (int idx : *candidates) {
     const Fact& d = nodes_[node_id].config.facts()[idx];
     bool agrees = true;
     for (int pos : method.input_positions) {

@@ -45,6 +45,71 @@ TEST(ChaseConfigTest, AddContainsAndIndex) {
   EXPECT_EQ(config.TermsAt(0, 1), (std::vector<ChaseTermId>{2, 5}));
 }
 
+TEST(ChaseConfigTest, PositionalIndex) {
+  ChaseConfig config;
+  config.Add(Fact(0, {1, 2}));
+  config.Add(Fact(0, {1, 5}));
+  config.Add(Fact(0, {3, 2}));
+  config.Add(Fact(1, {1}));
+  EXPECT_EQ(config.FactsWith(0, 0, 1), (std::vector<int>{0, 1}));
+  EXPECT_EQ(config.FactsWith(0, 1, 2), (std::vector<int>{0, 2}));
+  EXPECT_EQ(config.FactsWith(0, 0, 3), (std::vector<int>{2}));
+  EXPECT_TRUE(config.FactsWith(0, 0, 9).empty());
+  EXPECT_TRUE(config.FactsWith(7, 0, 1).empty());
+  EXPECT_EQ(config.FactsWith(1, 0, 1), (std::vector<int>{3}));
+  // Duplicate adds leave the index untouched.
+  EXPECT_FALSE(config.Add(Fact(0, {1, 2})));
+  EXPECT_EQ(config.FactsWith(0, 0, 1), (std::vector<int>{0, 1}));
+  // Copies rebuild the positional index lazily and stay independent.
+  ChaseConfig copy = config;
+  copy.Add(Fact(0, {1, 7}));
+  EXPECT_EQ(copy.FactsWith(0, 0, 1), (std::vector<int>{0, 1, 4}));
+  EXPECT_EQ(config.FactsWith(0, 0, 1), (std::vector<int>{0, 1}));
+  config = copy;
+  EXPECT_EQ(config.FactsWith(0, 0, 1), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(MatcherTest, FactWindowsRestrictMatches) {
+  // A 9-fact chain i -> i+1 over R (above kIndexProbeThreshold, so the
+  // matcher seeds from the positional index); windows restrict which fact
+  // indexes an atom may use.
+  ChaseConfig config;
+  for (int i = 1; i <= 9; ++i) {
+    config.Add(Fact(0, {i, i + 1}));  // index i - 1
+  }
+  std::vector<Atom> atoms = {
+      Atom(0, {Term::Var("x"), Term::Var("y")}),
+      Atom(0, {Term::Var("y"), Term::Var("z")}),
+  };
+  TermArena arena;
+  VariableTable vars;
+  auto pattern = CompileAtoms(atoms, vars, arena);
+  // Unconstrained: chains (0,1), (1,2), ..., (7,8).
+  std::vector<ChaseTermId> assignment(vars.size(), kUnboundTerm);
+  int count = 0;
+  EnumerateHomomorphisms(pattern, config, assignment,
+                         [&](const std::vector<ChaseTermId>&) {
+                           ++count;
+                           return true;
+                         });
+  EXPECT_EQ(count, 8);
+  // Pin the first atom to the "delta" [7, 9): only chain (7,8) survives.
+  std::vector<FactWindow> windows = {FactWindow{7, 9}, FactWindow{0, 9}};
+  MatchStats stats;
+  MatchOptions options{windows.data(), &stats};
+  count = 0;
+  EnumerateHomomorphisms(
+      pattern, config, assignment,
+      [&](const std::vector<ChaseTermId>& full) {
+        ++count;
+        EXPECT_EQ(full[vars.IndexOf("x")], 8);
+        return true;
+      },
+      options);
+  EXPECT_EQ(count, 1);
+  EXPECT_GT(stats.index_probes, 0);
+}
+
 TEST(MatcherTest, EnumeratesAllHomomorphisms) {
   // Pattern R(x, y), R(y, z) over facts 1->2, 2->3, 2->4.
   ChaseConfig config;
