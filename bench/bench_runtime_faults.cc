@@ -1,0 +1,125 @@
+// Experiment E11: runtime resilience overhead. Measures ExecutePlan on a
+// two-access join plan (free scan + keyed probe) three ways:
+//
+//   BM_ExecuteDirect        — the historic direct path: an unwrapped
+//                             SimulatedSource with default options. The
+//                             retry machinery must cost nothing here (no
+//                             clock reads, no PRNG draws, no breaker state).
+//   BM_ExecuteFaultInjected — the same plan through FaultInjectingSource at
+//                             fault rates 0 / 1% / 10% (rate_permille arg),
+//                             retries + best-effort enabled, on a
+//                             VirtualClock so backoff costs no wall time.
+//
+// The rate-0 wrapped run vs the direct run is the headline "zero-fault
+// overhead" number (bench/run_benches.sh reports it from the JSON).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <random>
+
+#include "lcp/base/clock.h"
+#include "lcp/runtime/executor.h"
+#include "lcp/runtime/faults.h"
+
+namespace {
+
+using namespace lcp;
+
+struct Workload {
+  Schema schema;
+  std::unique_ptr<Instance> instance;
+
+  explicit Workload(int n) {
+    RelationId r = schema.AddRelation("R", 2).value();
+    RelationId s = schema.AddRelation("S", 2).value();
+    schema.AddAccessMethod("mt_r_free", r, {}, 2.0).value();
+    schema.AddAccessMethod("mt_s_by0", s, {0}, 5.0).value();
+    instance = std::make_unique<Instance>(&schema);
+    std::mt19937_64 prng(7);
+    for (int i = 0; i < n; ++i) {
+      int64_t key = static_cast<int64_t>(prng() % (n * 2));
+      instance->AddFact(0, Tuple{Value::Int(i), Value::Int(key)});
+      if (prng() % 3 != 0) {
+        instance->AddFact(1, Tuple{Value::Int(key), Value::Int(i * 100)});
+      }
+    }
+  }
+};
+
+Plan MakeJoinPlan() {
+  Plan plan;
+  AccessCommand first;
+  first.method = 0;
+  first.output_table = "t0";
+  first.output_columns = {{"a", 0}, {"b", 1}};
+  plan.commands.push_back(first);
+  AccessCommand second;
+  second.method = 1;
+  second.input = RaExpr::Project(RaExpr::TempScan("t0"), {"b"});
+  second.input_binding = {{"b", 0}};
+  second.output_table = "t1";
+  second.output_columns = {{"b", 0}, {"c", 1}};
+  plan.commands.push_back(second);
+  plan.commands.push_back(QueryCommand{
+      "t2", RaExpr::Join(RaExpr::TempScan("t0"), RaExpr::TempScan("t1"))});
+  plan.output_table = "t2";
+  plan.output_attrs = {"a", "c"};
+  return plan;
+}
+
+void BM_ExecuteDirect(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Workload w(n);
+  Plan plan = MakeJoinPlan();
+  SimulatedSource source(&w.schema, w.instance.get());
+  for (auto _ : state) {
+    auto result = ExecutePlan(plan, source);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError("execution failed");
+    state.counters["rows"] = static_cast<double>(result->output.size());
+  }
+}
+BENCHMARK(BM_ExecuteDirect)->Arg(64)->Arg(256)->ArgName("n");
+
+void BM_ExecuteFaultInjected(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int rate_permille = static_cast<int>(state.range(1));
+  Workload w(n);
+  Plan plan = MakeJoinPlan();
+  SimulatedSource base(&w.schema, w.instance.get());
+  FaultProfile profile;
+  profile.defaults.transient_failure_rate = rate_permille / 1000.0;
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 4242, &clock);
+  ExecutionOptions options;
+  options.retry.max_attempts = 16;
+  options.retry.initial_backoff_micros = 1000;
+  options.retry.best_effort = true;
+  options.clock = &clock;
+  long long complete = 0, total = 0;
+  for (auto _ : state) {
+    auto result = ExecutePlan(plan, faulty, options);
+    benchmark::DoNotOptimize(result);
+    if (!result.ok()) state.SkipWithError("execution failed");
+    ++total;
+    if (result->complete) ++complete;
+    state.counters["rows"] = static_cast<double>(result->output.size());
+  }
+  state.counters["complete_fraction"] =
+      total == 0 ? 1.0 : static_cast<double>(complete) / total;
+  state.counters["injected_failures"] =
+      static_cast<double>(faulty.stats().injected_failures);
+}
+BENCHMARK(BM_ExecuteFaultInjected)
+    ->Args({64, 0})
+    ->Args({64, 10})
+    ->Args({64, 100})
+    ->Args({256, 0})
+    ->Args({256, 10})
+    ->Args({256, 100})
+    ->ArgNames({"n", "rate_permille"});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,30 +1,77 @@
 #!/usr/bin/env bash
-# Runs the chase benchmark suite and records the perf trajectory as JSON.
+# Runs the benchmark suite and records the perf trajectory as JSON.
 #
-# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
-#   BUILD_DIR  cmake build directory containing bench/bench_chase
-#              (default: build)
-#   OUT_JSON   output path for the google-benchmark JSON report
-#              (default: BENCH_chase.json in the current directory)
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON] [RUNTIME_OUT_JSON]
+#   BUILD_DIR         cmake build directory containing the bench binaries
+#                     (default: build)
+#   OUT_JSON          output path for the chase google-benchmark JSON report
+#                     (default: BENCH_chase.json in the current directory)
+#   RUNTIME_OUT_JSON  output path for the runtime-resilience JSON report
+#                     (default: BENCH_runtime.json in the current directory)
 #
-# The report includes BM_ChaseTransitiveClosure in both evaluation modes
-# (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase), which
-# is the headline naive-vs-delta comparison.
+# BENCH_chase.json includes BM_ChaseTransitiveClosure in both evaluation
+# modes (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase),
+# the headline naive-vs-delta comparison.
+#
+# BENCH_runtime.json covers the fault-tolerant executor: the historic direct
+# path (BM_ExecuteDirect) vs FaultInjectingSource at fault rates 0 / 1% /
+# 10% (BM_ExecuteFaultInjected, rate_permille arg). The rate-0 run vs the
+# direct run is the zero-fault overhead of the retry machinery, printed
+# below when python3 is available (target: <= 5%).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_chase.json}"
-BENCH_BIN="${BUILD_DIR}/bench/bench_chase"
+RUNTIME_OUT_JSON="${3:-BENCH_runtime.json}"
+CHASE_BIN="${BUILD_DIR}/bench/bench_chase"
+RUNTIME_BIN="${BUILD_DIR}/bench/bench_runtime_faults"
 
-if [[ ! -x "${BENCH_BIN}" ]]; then
-  echo "error: ${BENCH_BIN} not found; build first:" >&2
-  echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
-  exit 1
-fi
+for bin in "${CHASE_BIN}" "${RUNTIME_BIN}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "error: ${bin} not found; build first:" >&2
+    echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+    exit 1
+  fi
+done
 
-"${BENCH_BIN}" \
+"${CHASE_BIN}" \
   --benchmark_out="${OUT_JSON}" \
   --benchmark_out_format=json \
   ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
 
 echo "wrote ${OUT_JSON}"
+
+"${RUNTIME_BIN}" \
+  --benchmark_out="${RUNTIME_OUT_JSON}" \
+  --benchmark_out_format=json \
+  ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
+
+echo "wrote ${RUNTIME_OUT_JSON}"
+
+# Zero-fault overhead: wrapped source at rate 0 vs the direct path, per
+# instance size. Informational only — CI perf gates belong in a dedicated
+# environment, not a shared runner.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${RUNTIME_OUT_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+direct, wrapped0 = {}, {}
+for b in report.get("benchmarks", []):
+    name = b.get("name", "")
+    if b.get("run_type") == "aggregate":
+        continue
+    if name.startswith("BM_ExecuteDirect/"):
+        n = name.split("n:")[1].split("/")[0]
+        direct[n] = b["real_time"]
+    elif name.startswith("BM_ExecuteFaultInjected/") and "rate_permille:0" in name:
+        n = name.split("n:")[1].split("/")[0]
+        wrapped0[n] = b["real_time"]
+for n in sorted(direct, key=int):
+    if n in wrapped0 and direct[n] > 0:
+        pct = 100.0 * (wrapped0[n] / direct[n] - 1.0)
+        print(f"zero-fault overhead (n={n}): {pct:+.1f}% "
+              f"(direct {direct[n]:.0f}ns -> wrapped {wrapped0[n]:.0f}ns)")
+EOF
+fi

@@ -1,0 +1,61 @@
+#include "lcp/base/budget.h"
+
+#include <algorithm>
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+void Budget::SetDeadline(Clock* clock, int64_t budget_micros) {
+  LCP_CHECK(clock != nullptr);
+  clock_ = clock;
+  // Clamp to 0 so a negative budget means "already expired" even when the
+  // clock itself reads near 0 (-1 would disarm the deadline instead).
+  deadline_micros_ = std::max<int64_t>(clock->NowMicros() + budget_micros, 0);
+}
+
+void Budget::Cancel(Status status) {
+  LCP_CHECK(!status.ok()) << "Budget::Cancel needs a non-OK status";
+  stats_.cancelled = true;
+  if (exhaustion_.ok()) exhaustion_ = std::move(status);
+}
+
+Status Budget::Evaluate() {
+  if (!exhaustion_.ok()) return exhaustion_;
+  if (node_cap_ >= 0 && stats_.nodes_charged > node_cap_) {
+    stats_.node_cap_hit = true;
+    exhaustion_ = ResourceExhaustedError(
+        StrCat("budget node cap of ", node_cap_, " exceeded"));
+    return exhaustion_;
+  }
+  if (firing_cap_ >= 0 && stats_.firings_charged > firing_cap_) {
+    stats_.firing_cap_hit = true;
+    exhaustion_ = ResourceExhaustedError(
+        StrCat("budget firing cap of ", firing_cap_, " exceeded"));
+    return exhaustion_;
+  }
+  if (deadline_micros_ >= 0) {
+    ++stats_.deadline_checks;
+    if (clock_->NowMicros() >= deadline_micros_) {
+      stats_.deadline_hit = true;
+      exhaustion_ = DeadlineExceededError("budget deadline exceeded");
+      return exhaustion_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status Budget::ChargeNode() {
+  ++stats_.nodes_charged;
+  return Evaluate();
+}
+
+Status Budget::ChargeFiring() {
+  ++stats_.firings_charged;
+  return Evaluate();
+}
+
+Status Budget::Check() { return Evaluate(); }
+
+}  // namespace lcp

@@ -1,0 +1,78 @@
+#ifndef LCP_BASE_BUDGET_H_
+#define LCP_BASE_BUDGET_H_
+
+#include <cstdint>
+
+#include "lcp/base/clock.h"
+#include "lcp/base/status.h"
+
+namespace lcp {
+
+/// Accounting attached to a Budget. Shared across every component the budget
+/// is threaded through (ProofSearch nodes, ChaseEngine firings).
+struct BudgetStats {
+  long long nodes_charged = 0;
+  long long firings_charged = 0;
+  long long deadline_checks = 0;
+  bool deadline_hit = false;
+  bool node_cap_hit = false;
+  bool firing_cap_hit = false;
+  bool cancelled = false;
+};
+
+/// A cooperative execution budget: an optional wall-clock deadline (on a
+/// pluggable Clock, so tests run in virtual time) plus optional caps on
+/// search nodes and chase firings. One Budget instance is shared by a whole
+/// planning episode — the proof search and every chase closure it runs
+/// charge against the same pool.
+///
+/// Exhaustion is *latched*: the first failing Charge*/Check call fixes the
+/// returned status, and every later call returns the same status. Callers
+/// poll at their natural cancellation points and wind down when a non-OK
+/// status appears; anytime callers (ProofSearch) convert kDeadlineExceeded
+/// into a best-effort result instead of an error.
+///
+/// Not thread-safe: a budget belongs to one planning thread.
+class Budget {
+ public:
+  /// Unlimited budget: every check passes.
+  Budget() = default;
+
+  /// Arms the deadline at `clock->NowMicros() + budget_micros`. A negative
+  /// budget means "already expired" (useful in tests).
+  void SetDeadline(Clock* clock, int64_t budget_micros);
+  void set_node_cap(long long cap) { node_cap_ = cap; }
+  void set_firing_cap(long long cap) { firing_cap_ = cap; }
+
+  /// Cooperative cancellation: all subsequent checks fail with `status`.
+  void Cancel(Status status);
+
+  /// Records one search-node expansion / chase firing, then re-evaluates the
+  /// limits. Returns OK or the (latched) exhaustion status.
+  Status ChargeNode();
+  Status ChargeFiring();
+
+  /// Re-evaluates limits without charging anything. The cheap fast-path for
+  /// inner loops: when no deadline is armed and no cap was hit this is a few
+  /// branches, no clock read.
+  Status Check();
+
+  bool exhausted() const { return !exhaustion_.ok(); }
+  /// The latched exhaustion status (OK while the budget has room).
+  const Status& exhaustion() const { return exhaustion_; }
+  const BudgetStats& stats() const { return stats_; }
+
+ private:
+  Status Evaluate();
+
+  Clock* clock_ = nullptr;
+  int64_t deadline_micros_ = -1;  ///< Absolute; -1 = no deadline.
+  long long node_cap_ = -1;       ///< -1 = unlimited.
+  long long firing_cap_ = -1;
+  Status exhaustion_;
+  BudgetStats stats_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_BUDGET_H_

@@ -1,0 +1,25 @@
+#include "lcp/base/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace lcp {
+
+int64_t SystemClock::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SystemClock::SleepMicros(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+SystemClock* SystemClock::Instance() {
+  static SystemClock clock;
+  return &clock;
+}
+
+}  // namespace lcp

@@ -1,0 +1,64 @@
+#ifndef LCP_BASE_CLOCK_H_
+#define LCP_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace lcp {
+
+/// A pluggable monotonic time source. All deadline / backoff machinery
+/// (RetryPolicy, Budget, FaultInjectingSource latency simulation) goes
+/// through this interface so tests and benchmarks can run in deterministic
+/// virtual time while production uses the real steady clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic timestamp in microseconds. The epoch is arbitrary; only
+  /// differences are meaningful.
+  virtual int64_t NowMicros() = 0;
+
+  /// Blocks (or simulates blocking) for `micros` microseconds. Retry backoff
+  /// waits are issued through this call, so a virtual clock observes the
+  /// full backoff schedule without any real sleeping.
+  virtual void SleepMicros(int64_t micros) = 0;
+};
+
+/// Wall-clock implementation on std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() override;
+  void SleepMicros(int64_t micros) override;
+
+  /// Process-wide instance used as the default when no clock is injected.
+  static SystemClock* Instance();
+};
+
+/// Deterministic manual-advance clock for tests and benchmarks. SleepMicros
+/// advances the virtual time instead of blocking, and an optional
+/// auto-advance moves time forward on every NowMicros read, which lets
+/// deadline expiry be exercised inside otherwise instantaneous loops.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() override {
+    int64_t now = now_;
+    now_ += auto_advance_;
+    return now;
+  }
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) now_ += micros;
+  }
+
+  void Advance(int64_t micros) { now_ += micros; }
+  /// Every NowMicros() read additionally advances time by `micros`.
+  void set_auto_advance(int64_t micros) { auto_advance_ = micros; }
+
+ private:
+  int64_t now_;
+  int64_t auto_advance_ = 0;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_CLOCK_H_

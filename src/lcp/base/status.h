@@ -18,6 +18,13 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  /// A time budget (deadline) ran out before the operation completed. Anytime
+  /// operations pair this code with their best partial result (see Budget and
+  /// SearchOutcome::exhaustion).
+  kDeadlineExceeded = 9,
+  /// A source (or a circuit breaker guarding it) refused the call; typically
+  /// transient and safe to retry with backoff.
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -62,6 +69,8 @@ Status OutOfRangeError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Propagates a non-OK status to the caller. Usable in functions returning
 /// `Status` or `Result<T>`.

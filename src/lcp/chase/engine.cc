@@ -153,6 +153,15 @@ Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
     ++stats.rounds;
     const size_t round_end = config.size();
     for (size_t t = 0; t < tgds.size(); ++t) {
+      if (options.budget != nullptr) {
+        // Cooperative cancellation point: one check per TGD pass bounds the
+        // staleness of deadline detection to a single enumeration sweep.
+        Status budget_status = options.budget->Check();
+        if (!budget_status.ok()) {
+          flush_match_stats();
+          return budget_status;
+        }
+      }
       const CompiledTgd& tgd = tgds[t];
       // Collect the current triggers first: firing mutates the config, which
       // would invalidate the enumeration.
@@ -238,6 +247,13 @@ Result<ChaseStats> ChaseEngine::Run(const std::vector<CompiledTgd>& tgds,
           }
           stats.reached_fixpoint = false;
           return stats;
+        }
+        if (options.budget != nullptr) {
+          Status budget_status = options.budget->ChargeFiring();
+          if (!budget_status.ok()) {
+            flush_match_stats();
+            return budget_status;
+          }
         }
 
         // Fire: invent nulls for the existential variables, add head facts.

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "lcp/base/budget.h"
 #include "lcp/base/result.h"
 #include "lcp/chase/config.h"
 #include "lcp/chase/matcher.h"
@@ -48,6 +49,13 @@ struct ChaseOptions {
   /// Trigger-enumeration strategy. Semi-naïve is the default; the naive mode
   /// stays available as a reference oracle.
   ChaseEvaluationMode evaluation_mode = ChaseEvaluationMode::kSemiNaive;
+  /// Optional shared execution budget (deadline + firing cap), checked
+  /// cooperatively: once per firing and once per TGD pass. When the budget
+  /// exhausts mid-run, Run returns its status (kDeadlineExceeded /
+  /// kResourceExhausted) and the configuration keeps the facts derived so
+  /// far — every derived fact is sound, the closure is merely incomplete.
+  /// Not owned; null = unlimited.
+  Budget* budget = nullptr;
 };
 
 struct ChaseStats {

@@ -50,7 +50,18 @@ class SearchContext {
         cost_(cost),
         query_(query),
         options_(options),
-        engine_(&acc.schema(), &arena_) {}
+        root_chase_(options.root_chase),
+        closure_chase_(options.closure_chase),
+        engine_(&acc.schema(), &arena_) {
+    // One budget bounds the whole episode: the search loop and every chase
+    // closure it runs charge against the same pool.
+    if (options.budget != nullptr) {
+      if (root_chase_.budget == nullptr) root_chase_.budget = options.budget;
+      if (closure_chase_.budget == nullptr) {
+        closure_chase_.budget = options.budget;
+      }
+    }
+  }
 
   Result<SearchOutcome> Run();
 
@@ -73,6 +84,9 @@ class SearchContext {
   const CostFunction& cost_;
   const ConjunctiveQuery& query_;
   const SearchOptions& options_;
+  /// Chase options with the shared budget threaded in.
+  ChaseOptions root_chase_;
+  ChaseOptions closure_chase_;
 
   TermArena arena_;
   ChaseEngine engine_;
@@ -97,8 +111,7 @@ Status SearchContext::InitRoot() {
   root.config = std::move(canonical.config);
   LCP_ASSIGN_OR_RETURN(
       ChaseStats root_stats,
-      engine_.Run(acc_.original_constraints(), options_.root_chase,
-                  root.config));
+      engine_.Run(acc_.original_constraints(), root_chase_, root.config));
   outcome_.stats.root_chase_firings = root_stats.firings;
 
   // Schema constants (and by our convention, the query's constants) are
@@ -156,6 +169,8 @@ Status SearchContext::InitRoot() {
   root.label = "root";
   nodes_.push_back(std::move(root));
   outcome_.stats.nodes_created = 1;
+  // The root counts against the node budget like any other node.
+  if (options_.budget != nullptr) (void)options_.budget->ChargeNode();
   Log(nodes_[0], "initial");
   return Status::Ok();
 }
@@ -326,7 +341,7 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
   // InferredAcc copies of the integrity constraints.
   LCP_ASSIGN_OR_RETURN(
       ChaseStats closure_stats,
-      engine_.Run(compiled_inferred_, options_.closure_chase, child.config));
+      engine_.Run(compiled_inferred_, closure_chase_, child.config));
   outcome_.stats.closure_firings += closure_stats.firings;
 
   // --- plan update (§4 proof-to-plan translation) --------------------------
@@ -436,6 +451,9 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
   int child_id = child.id;
   nodes_.push_back(std::move(child));
   ++outcome_.stats.nodes_created;
+  // Charge the node; the main loop's Check() notices an exceeded cap before
+  // the next expansion, so at most one node overshoots the budget.
+  if (options_.budget != nullptr) (void)options_.budget->ChargeNode();
   if (success) {
     RecordSuccess(nodes_.back());
     Log(nodes_.back(), StrCat("SUCCESS cost=", nodes_.back().cost));
@@ -455,9 +473,25 @@ void SearchContext::Log(const Node& node, const std::string& status) {
 }
 
 Result<SearchOutcome> SearchContext::Run() {
-  LCP_RETURN_IF_ERROR(InitRoot());
+  Status init = InitRoot();
+  if (!init.ok()) {
+    // Anytime contract: a budget that dies during the root closure yields an
+    // empty best-effort outcome, not an error.
+    if (options_.budget != nullptr && options_.budget->exhausted()) {
+      outcome_.exhaustion = options_.budget->exhaustion();
+      return std::move(outcome_);
+    }
+    return init;
+  }
   std::vector<int> stack = {0};
   while (!stack.empty()) {
+    if (options_.budget != nullptr) {
+      Status budget_status = options_.budget->Check();
+      if (!budget_status.ok()) {
+        outcome_.exhaustion = std::move(budget_status);
+        break;
+      }
+    }
     int vid = stack.back();
     Node& v = nodes_[vid];
     if (v.success) {
@@ -484,8 +518,22 @@ Result<SearchOutcome> SearchContext::Run() {
       stack.pop_back();
       continue;
     }
-    if (outcome_.stats.nodes_created >= options_.max_nodes) break;
-    LCP_ASSIGN_OR_RETURN(int child_id, Expand(vid, cand_index));
+    if (outcome_.stats.nodes_created >= options_.max_nodes) {
+      outcome_.exhaustion = ResourceExhaustedError(
+          StrCat("search node cap of ", options_.max_nodes, " reached"));
+      break;
+    }
+    Result<int> expanded = Expand(vid, cand_index);
+    if (!expanded.ok()) {
+      // A chase closure interrupted by the shared budget stops the search
+      // gracefully with whatever was found; genuine chase errors propagate.
+      if (options_.budget != nullptr && options_.budget->exhausted()) {
+        outcome_.exhaustion = options_.budget->exhaustion();
+        break;
+      }
+      return expanded.status();
+    }
+    int child_id = *expanded;
     if (child_id >= 0 && !nodes_[child_id].success) {
       stack.push_back(child_id);
     }

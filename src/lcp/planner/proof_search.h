@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/budget.h"
 #include "lcp/base/result.h"
 #include "lcp/chase/engine.h"
 #include "lcp/plan/cost.h"
@@ -53,6 +54,13 @@ struct SearchOptions {
   /// Record one human-readable line per node (Figure 1 style dumps).
   bool collect_exploration_log = false;
   CandidateOrder candidate_order = CandidateOrder::kDerivationDepth;
+  /// Optional shared execution budget (wall-clock deadline + node/firing
+  /// caps). The search checks it before every expansion and threads it into
+  /// the root and per-node chase closures, so one budget bounds the whole
+  /// planning episode. Exhaustion makes the search *anytime*: Run returns
+  /// the best plan found so far with SearchOutcome::exhaustion set instead
+  /// of failing. Not owned; null = unlimited.
+  Budget* budget = nullptr;
 };
 
 struct SearchStats {
@@ -78,6 +86,12 @@ struct SearchOutcome {
   std::vector<FoundPlan> all_plans;
   SearchStats stats;
   std::vector<std::string> exploration_log;
+  /// Why the search stopped early, if it did (the anytime contract). OK
+  /// means the proof space was exhausted and `best` is optimal within the
+  /// access budget; kDeadlineExceeded / kResourceExhausted mean the time or
+  /// node/firing budget ran out and `best` is only the cheapest plan found
+  /// *so far* (possibly absent).
+  Status exhaustion;
 };
 
 /// Algorithm 1 of the paper: searches the space of eager chase proofs that

@@ -1,6 +1,7 @@
 #include "lcp/runtime/executor.h"
 
 #include <algorithm>
+#include <random>
 
 #include "lcp/base/strings.h"
 
@@ -8,9 +9,134 @@ namespace lcp {
 
 namespace {
 
+/// Retry-layer state threaded through one ExecutePlan call: the policy, the
+/// clock, the jitter PRNG, per-method circuit breakers, and the absolute
+/// plan deadline. Deadlines are only consulted inside access loops — that is
+/// where execution time goes (source latency and backoff waits); in-memory
+/// middleware commands run to completion.
+struct RetryState {
+  RetryState(const ExecutionOptions& options, const Schema& schema,
+             ExecutionResult& result)
+      : policy(options.retry),
+        clock(options.clock != nullptr ? options.clock
+                                       : SystemClock::Instance()),
+        jitter_prng(options.retry.jitter_seed),
+        result(&result) {
+    if (policy.breaker_threshold > 0) {
+      consecutive_failures.assign(schema.num_access_methods(), 0);
+      breaker_open.assign(schema.num_access_methods(), 0);
+    }
+    if (policy.plan_deadline_micros >= 0) {
+      plan_deadline_abs = clock->NowMicros() + policy.plan_deadline_micros;
+    }
+  }
+
+  const RetryPolicy& policy;
+  Clock* clock;
+  std::mt19937_64 jitter_prng;
+  ExecutionResult* result;
+  std::vector<int> consecutive_failures;
+  std::vector<char> breaker_open;
+  int64_t plan_deadline_abs = -1;
+};
+
+/// One logical access (one binding) with bounded-exponential-backoff retry,
+/// circuit breaking, and deadline enforcement.
+Result<AccessOutcome> AccessWithRetry(AccessSource& source,
+                                      AccessMethodId method,
+                                      const Tuple& binding, RetryState& rs) {
+  const RetryPolicy& p = rs.policy;
+  RetryStats& stats = rs.result->retry;
+
+  if (p.breaker_threshold > 0 && rs.breaker_open[method]) {
+    ++stats.breaker_short_circuits;
+    return UnavailableError(StrCat("circuit breaker open for method ",
+                                   source.schema().access_method(method).name));
+  }
+
+  int64_t access_deadline_abs = -1;
+  if (p.access_deadline_micros >= 0) {
+    access_deadline_abs = rs.clock->NowMicros() + p.access_deadline_micros;
+  }
+
+  Status last_failure;
+  for (int attempt = 1;; ++attempt) {
+    if (rs.plan_deadline_abs >= 0 || access_deadline_abs >= 0) {
+      const int64_t now = rs.clock->NowMicros();
+      if ((rs.plan_deadline_abs >= 0 && now >= rs.plan_deadline_abs) ||
+          (access_deadline_abs >= 0 && now >= access_deadline_abs)) {
+        ++stats.deadline_abandons;
+        return DeadlineExceededError(
+            StrCat("deadline expired before attempt ", attempt,
+                   " of access to ",
+                   source.schema().access_method(method).name));
+      }
+    }
+
+    ++stats.attempts;
+    Result<AccessOutcome> outcome = source.TryAccess(method, binding);
+    if (outcome.ok()) {
+      if (p.breaker_threshold > 0) rs.consecutive_failures[method] = 0;
+      return outcome;
+    }
+    if (outcome.status().code() != StatusCode::kUnavailable) {
+      // Permanent error (bad arity, internal failure): never retried.
+      return outcome.status();
+    }
+    ++stats.failures;
+    last_failure = outcome.status();
+
+    if (p.breaker_threshold > 0 &&
+        ++rs.consecutive_failures[method] >= p.breaker_threshold) {
+      rs.breaker_open[method] = 1;
+      ++stats.breaker_trips;
+      return UnavailableError(
+          StrCat("circuit breaker tripped for method ",
+                 source.schema().access_method(method).name, " after ",
+                 rs.consecutive_failures[method],
+                 " consecutive failures; last: ", last_failure.message()));
+    }
+    if (attempt >= p.max_attempts) return last_failure;
+
+    // Bounded exponential backoff with deterministic jitter.
+    int64_t backoff = p.initial_backoff_micros;
+    for (int i = 1; i < attempt && backoff < p.max_backoff_micros; ++i) {
+      backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                     p.backoff_multiplier);
+    }
+    backoff = std::min(backoff, p.max_backoff_micros);
+    if (p.jitter_fraction > 0) {
+      const double unit =
+          static_cast<double>(rs.jitter_prng() >> 11) * 0x1.0p-53;
+      backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                     (1.0 - p.jitter_fraction * unit));
+    }
+    if (backoff > 0) {
+      rs.clock->SleepMicros(backoff);
+      stats.backoff_micros += backoff;
+    }
+    stats.backoff_schedule.push_back(backoff);
+    ++stats.retries;
+  }
+}
+
+/// Records an access binding that could not be answered (exhausted retries,
+/// open breaker, or deadline). In best-effort mode the binding's rows are
+/// simply missing from the output and execution continues.
+bool DegradeOrFail(const Status& failure, RetryState& rs) {
+  const StatusCode code = failure.code();
+  if (!rs.policy.best_effort || (code != StatusCode::kUnavailable &&
+                                 code != StatusCode::kDeadlineExceeded)) {
+    return false;
+  }
+  rs.result->complete = false;
+  ++rs.result->degraded_accesses;
+  return true;
+}
+
 /// Runs one access command; appends retrieved rows to env[output_table].
-Result<size_t> RunAccess(const AccessCommand& access, const Schema& schema,
-                         SimulatedSource& source, TableEnv& env) {
+Status RunAccess(const AccessCommand& access, const Schema& schema,
+                 AccessSource& source, TableEnv& env, RetryState& rs) {
   const AccessMethod& method = schema.access_method(access.method);
   const int num_inputs = static_cast<int>(method.input_positions.size());
 
@@ -91,10 +217,19 @@ Result<size_t> RunAccess(const AccessCommand& access, const Schema& schema,
   }
   Table& out = env.emplace(access.output_table, Table(out_attrs)).first->second;
 
-  size_t calls = 0;
   for (const Tuple& binding : bindings) {
-    ++calls;
-    for (const Tuple& tuple : source.Access(access.method, binding)) {
+    Result<AccessOutcome> outcome =
+        AccessWithRetry(source, access.method, binding, rs);
+    if (!outcome.ok()) {
+      if (DegradeOrFail(outcome.status(), rs)) continue;
+      return outcome.status();
+    }
+    ++rs.result->source_calls;
+    if (outcome->truncated) {
+      rs.result->complete = false;
+      ++rs.result->degraded_accesses;
+    }
+    for (const Tuple& tuple : *outcome->tuples) {
       bool keep = true;
       for (const auto& [a, b] : access.position_equalities) {
         if (tuple[a] != tuple[b]) {
@@ -119,21 +254,22 @@ Result<size_t> RunAccess(const AccessCommand& access, const Schema& schema,
       out.Insert(std::move(row));
     }
   }
-  return calls;
+  return Status::Ok();
 }
 
 }  // namespace
 
-Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
+Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
+                                    const ExecutionOptions& options,
                                     TableEnv* final_env) {
   ExecutionResult result;
+  RetryState rs(options, source.schema(), result);
   TableEnv env;
   for (const Command& cmd : plan.commands) {
     if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
       ++result.access_commands;
-      LCP_ASSIGN_OR_RETURN(
-          size_t calls, RunAccess(*access, source.schema(), source, env));
-      result.source_calls += calls;
+      LCP_RETURN_IF_ERROR(
+          RunAccess(*access, source.schema(), source, env, rs));
     } else {
       const QueryCommand& query = std::get<QueryCommand>(cmd);
       LCP_ASSIGN_OR_RETURN(Table table, EvaluateRa(*query.expr, env));
@@ -159,6 +295,12 @@ Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
   }
   if (final_env != nullptr) *final_env = std::move(env);
   return result;
+}
+
+Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
+                                    TableEnv* final_env) {
+  return ExecutePlan(plan, static_cast<AccessSource&>(source),
+                     ExecutionOptions{}, final_env);
 }
 
 }  // namespace lcp

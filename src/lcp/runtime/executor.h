@@ -1,6 +1,10 @@
 #ifndef LCP_RUNTIME_EXECUTOR_H_
 #define LCP_RUNTIME_EXECUTOR_H_
 
+#include <cstdint>
+#include <vector>
+
+#include "lcp/base/clock.h"
 #include "lcp/base/result.h"
 #include "lcp/plan/plan.h"
 #include "lcp/ra/eval.h"
@@ -8,22 +12,92 @@
 
 namespace lcp {
 
+/// How ExecutePlan handles source failures. All waiting goes through the
+/// configured Clock, so a VirtualClock makes retry schedules both instant
+/// and deterministic; jitter comes from a PRNG seeded with `jitter_seed`,
+/// never from wall time.
+struct RetryPolicy {
+  /// Total tries per source access (1 = no retries). Only kUnavailable
+  /// failures are retried; any other error is permanent and propagates.
+  int max_attempts = 3;
+  /// Exponential backoff before retry k (1-based): initial * multiplier^(k-1),
+  /// clamped to max, then scaled by the deterministic jitter factor.
+  int64_t initial_backoff_micros = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_micros = 64000;
+  /// Each backoff is multiplied by a factor drawn uniformly from
+  /// [1 - jitter_fraction, 1] using a PRNG seeded with jitter_seed.
+  double jitter_fraction = 0.0;
+  uint64_t jitter_seed = 0;
+  /// Deadline for one logical access (all retries of one binding), and for
+  /// the whole plan. -1 = unlimited. Expiry surfaces kDeadlineExceeded (or a
+  /// degraded result in best-effort mode).
+  int64_t access_deadline_micros = -1;
+  int64_t plan_deadline_micros = -1;
+  /// Circuit breaker: after this many *consecutive* failed attempts on one
+  /// method, the breaker for that method opens and further accesses to it
+  /// short-circuit with kUnavailable without touching the source. 0 = off.
+  int breaker_threshold = 0;
+  /// Best-effort mode: an access binding that still fails after retries (or
+  /// hits an open breaker / a deadline) is recorded as degraded and skipped,
+  /// and execution continues; the result is marked incomplete. When false,
+  /// the first such failure aborts the plan with its status.
+  bool best_effort = false;
+};
+
+/// Retry-layer accounting for one ExecutePlan call.
+struct RetryStats {
+  size_t attempts = 0;            ///< Source attempts, including retries.
+  size_t failures = 0;            ///< Attempts that returned kUnavailable.
+  size_t retries = 0;             ///< Re-attempts after a transient failure.
+  size_t breaker_trips = 0;       ///< Breakers that opened.
+  size_t breaker_short_circuits = 0;  ///< Accesses rejected by open breakers.
+  size_t deadline_abandons = 0;   ///< Accesses abandoned on a deadline.
+  int64_t backoff_micros = 0;     ///< Total time spent backing off.
+  /// Every backoff wait issued, in order. With a fixed policy, seed, and
+  /// fault schedule this sequence is byte-identical across runs (the
+  /// determinism contract; see DESIGN.md).
+  std::vector<int64_t> backoff_schedule;
+};
+
+/// Execution-time knobs. Default-constructed options reproduce the historic
+/// direct path: no deadlines, no breaker, and retries that never trigger on
+/// an infallible source.
+struct ExecutionOptions {
+  RetryPolicy retry;
+  /// Clock for deadlines and backoff waits; null = process SystemClock.
+  Clock* clock = nullptr;
+};
+
 /// Outcome of running a plan against a source.
 struct ExecutionResult {
   /// The content of T_fin projected to the plan's output attributes; its
   /// columns align position-wise with the query's free variables.
   Table output;
   int access_commands = 0;
-  /// Per-tuple source invocations made while executing (see
-  /// SimulatedSource accounting for distinct pairs / charged cost).
+  /// Per-tuple source invocations that *succeeded* (see SimulatedSource
+  /// accounting for distinct pairs / charged cost).
   size_t source_calls = 0;
+  /// True iff every access binding was answered in full: no access was
+  /// abandoned and no outcome was truncated. When false the output is a
+  /// best-effort under-approximation of the exact answer.
+  bool complete = true;
+  /// Access bindings whose rows are missing or truncated.
+  int degraded_accesses = 0;
+  RetryStats retry;
 };
 
 /// Executes `plan` against `source` (§2 semantics): commands run in
 /// sequence, temporary tables start empty, each access command feeds every
-/// distinct input tuple of its input expression into the method. If
-/// `final_env` is non-null it receives the temporary-table environment
-/// (useful in tests).
+/// distinct input tuple of its input expression into the method, retrying
+/// transient failures per `options.retry`. If `final_env` is non-null it
+/// receives the temporary-table environment (useful in tests).
+Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
+                                    const ExecutionOptions& options,
+                                    TableEnv* final_env = nullptr);
+
+/// Historic entry point: direct execution with default options (single
+/// meaningful attempt on an infallible source, no deadlines).
 Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,
                                     TableEnv* final_env = nullptr);
 

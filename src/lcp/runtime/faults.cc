@@ -1,0 +1,62 @@
+#include "lcp/runtime/faults.h"
+
+#include "lcp/base/check.h"
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+FaultInjectingSource::FaultInjectingSource(SimulatedSource* base,
+                                          FaultProfile profile, uint64_t seed,
+                                          Clock* clock)
+    : base_(base),
+      profile_(std::move(profile)),
+      prng_(seed),
+      clock_(clock != nullptr ? clock : SystemClock::Instance()) {
+  LCP_CHECK(base != nullptr);
+}
+
+Result<AccessOutcome> FaultInjectingSource::TryAccess(AccessMethodId method,
+                                                      const Tuple& inputs) {
+  ++stats_.attempts;
+  const MethodFaults& faults = profile_.ForMethod(method);
+
+  // Latency is charged even to failing attempts: a flaky service still makes
+  // the caller wait before the error comes back.
+  int64_t latency = faults.latency_base_micros;
+  if (faults.latency_jitter_micros > 0) {
+    latency += static_cast<int64_t>(
+        prng_() % static_cast<uint64_t>(faults.latency_jitter_micros + 1));
+  }
+  if (latency > 0) {
+    clock_->SleepMicros(latency);
+    stats_.simulated_latency_micros += latency;
+  }
+
+  if (profile_.permanent_outages.count(method) > 0) {
+    ++stats_.outage_rejections;
+    return UnavailableError(
+        StrCat("method ", base_->schema().access_method(method).name,
+               " is in permanent outage"));
+  }
+  if (faults.transient_failure_rate > 0 &&
+      NextUnit() < faults.transient_failure_rate) {
+    ++stats_.injected_failures;
+    return UnavailableError(
+        StrCat("injected transient failure on method ",
+               base_->schema().access_method(method).name));
+  }
+
+  const std::vector<Tuple>& rows = base_->Access(method, inputs);
+  if (faults.truncation_rate > 0 && NextUnit() < faults.truncation_rate &&
+      !rows.empty()) {
+    size_t keep = static_cast<size_t>(static_cast<double>(rows.size()) *
+                                      faults.truncation_keep_fraction);
+    if (keep >= rows.size()) keep = rows.size() - 1;
+    truncated_scratch_.assign(rows.begin(), rows.begin() + keep);
+    ++stats_.truncations;
+    return AccessOutcome{&truncated_scratch_, true};
+  }
+  return AccessOutcome{&rows, false};
+}
+
+}  // namespace lcp

@@ -1,0 +1,99 @@
+#ifndef LCP_RUNTIME_FAULTS_H_
+#define LCP_RUNTIME_FAULTS_H_
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lcp/base/clock.h"
+#include "lcp/runtime/source.h"
+
+namespace lcp {
+
+/// Fault behaviour of one access method (or the profile-wide default).
+/// Rates are probabilities in [0, 1]; draws come from the wrapper's seeded
+/// PRNG, so a fixed (seed, profile, access sequence) reproduces the exact
+/// same fault schedule.
+struct MethodFaults {
+  /// Probability that an access fails transiently (kUnavailable). A retry of
+  /// the same access re-rolls, so bounded retries eventually succeed with
+  /// overwhelming probability for rates < 1.
+  double transient_failure_rate = 0.0;
+  /// Simulated service latency charged to the clock per access attempt:
+  /// base plus a uniform draw in [0, jitter].
+  int64_t latency_base_micros = 0;
+  int64_t latency_jitter_micros = 0;
+  /// Probability that a *successful* access returns only a prefix of its
+  /// rows (partial result). Truncated outcomes are flagged so the executor
+  /// can mark the execution degraded.
+  double truncation_rate = 0.0;
+  /// Fraction of rows kept when a truncation fires (floor, at least one row
+  /// dropped for the outcome to count as truncated).
+  double truncation_keep_fraction = 0.5;
+};
+
+/// Deterministic fault model for a whole source: per-method overrides over a
+/// default, plus a set of permanently unreachable methods.
+struct FaultProfile {
+  MethodFaults defaults;
+  std::unordered_map<AccessMethodId, MethodFaults> per_method;
+  /// Methods that fail every access with kUnavailable (hard outage). Retry
+  /// cannot help; circuit breakers exist to stop paying for these.
+  std::unordered_set<AccessMethodId> permanent_outages;
+
+  const MethodFaults& ForMethod(AccessMethodId method) const {
+    auto it = per_method.find(method);
+    return it == per_method.end() ? defaults : it->second;
+  }
+};
+
+struct FaultStats {
+  size_t attempts = 0;            ///< TryAccess calls seen by the wrapper.
+  size_t injected_failures = 0;   ///< Transient kUnavailable injections.
+  size_t outage_rejections = 0;   ///< Rejections from permanent outages.
+  size_t truncations = 0;         ///< Outcomes returned truncated.
+  int64_t simulated_latency_micros = 0;
+};
+
+/// Wraps a SimulatedSource with deterministic fault injection: transient
+/// failures, simulated latency (charged to a pluggable Clock so virtual-time
+/// tests observe it), permanent outages, and truncated results. The PRNG is
+/// seeded explicitly; identical seed + profile + access sequence yields a
+/// byte-identical fault schedule, which is what makes the randomized
+/// fault/no-fault differential tests reproducible.
+class FaultInjectingSource : public AccessSource {
+ public:
+  /// `base` must outlive the wrapper. `clock` may be null when the profile
+  /// simulates no latency; defaults to the process SystemClock.
+  FaultInjectingSource(SimulatedSource* base, FaultProfile profile,
+                       uint64_t seed, Clock* clock = nullptr);
+
+  Result<AccessOutcome> TryAccess(AccessMethodId method,
+                                  const Tuple& inputs) override;
+
+  const Schema& schema() const override { return base_->schema(); }
+  SimulatedSource& base() { return *base_; }
+  const FaultStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FaultStats{}; }
+
+ private:
+  /// Uniform double in [0, 1) from the top 53 bits of the PRNG — avoids
+  /// std::uniform_real_distribution, whose draw sequence is not pinned down
+  /// by the standard.
+  double NextUnit() {
+    return static_cast<double>(prng_() >> 11) * 0x1.0p-53;
+  }
+
+  SimulatedSource* base_;
+  FaultProfile profile_;
+  std::mt19937_64 prng_;
+  Clock* clock_;
+  FaultStats stats_;
+  std::vector<Tuple> truncated_scratch_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_RUNTIME_FAULTS_H_

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "lcp/base/result.h"
 #include "lcp/data/instance.h"
 #include "lcp/logic/ids.h"
 #include "lcp/schema/schema.h"
@@ -26,12 +27,48 @@ struct AccessPair {
 
 struct AccessPairHash {
   size_t operator()(const AccessPair& p) const {
-    return TupleHash()(p.inputs) ^
-           (static_cast<size_t>(p.method) * 0x9e3779b97f4a7c15ULL);
+    // Proper hash-combine: a plain XOR with `method * constant` collapses
+    // buckets whenever many pairs share a method (the common case — one
+    // method probed with many bindings), because the method contribution is
+    // then a fixed XOR mask that permutes buckets instead of spreading them.
+    size_t h = static_cast<size_t>(p.method) + 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    size_t t = TupleHash()(p.inputs);
+    return h ^ (t + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
   }
 };
 
 using AccessPairSet = std::unordered_set<AccessPair, AccessPairHash>;
+
+/// Result of one successful (possibly degraded) source access.
+struct AccessOutcome {
+  /// The retrieved rows. Points into source-owned storage; valid until the
+  /// next access on the same source object.
+  const std::vector<Tuple>* tuples = nullptr;
+  /// True when the source returned only a prefix of the full answer (the
+  /// partial-result fault mode). Callers that see a truncated outcome must
+  /// mark their result incomplete.
+  bool truncated = false;
+};
+
+/// A restricted-interface data source that can fail. This is the failure
+/// vocabulary every backend shares (see DESIGN.md, "Failure semantics and
+/// budgets"): an access either yields an AccessOutcome or a Status —
+/// kUnavailable for transient faults and outages (retryable), anything else
+/// for permanent errors (not retryable).
+class AccessSource {
+ public:
+  virtual ~AccessSource() = default;
+
+  /// Performs one access of `method` with `inputs` bound to its input
+  /// positions (in input-position order).
+  virtual Result<AccessOutcome> TryAccess(AccessMethodId method,
+                                          const Tuple& inputs) = 0;
+
+  virtual const Schema& schema() const = 0;
+};
 
 /// Simulates a collection of restricted-interface data sources (web forms /
 /// services) over an in-memory instance: tuples of a relation can be
@@ -41,7 +78,7 @@ using AccessPairSet = std::unordered_set<AccessPair, AccessPairHash>;
 /// This is the substitution for the paper's remote sources (see DESIGN.md):
 /// it preserves exactly the behaviour the paper's cost model observes —
 /// which (method, input) pairs are invoked and how often.
-class SimulatedSource {
+class SimulatedSource : public AccessSource {
  public:
   SimulatedSource(const Schema* schema, const Instance* instance);
 
@@ -50,7 +87,14 @@ class SimulatedSource {
   /// call.
   const std::vector<Tuple>& Access(AccessMethodId method, const Tuple& inputs);
 
-  const Schema& schema() const { return *schema_; }
+  /// AccessSource: an in-memory source never fails, so this is Access()
+  /// wrapped in an always-complete outcome.
+  Result<AccessOutcome> TryAccess(AccessMethodId method,
+                                  const Tuple& inputs) override {
+    return AccessOutcome{&Access(method, inputs), false};
+  }
+
+  const Schema& schema() const override { return *schema_; }
   const Instance& instance() const { return *instance_; }
 
   // --- accounting ---------------------------------------------------------

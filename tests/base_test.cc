@@ -32,6 +32,18 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
   EXPECT_EQ(ResourceExhaustedError("x").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ResilienceCodesHaveStableNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(DeadlineExceededError("chase budget").ToString(),
+            "DEADLINE_EXCEEDED: chase budget");
+  EXPECT_EQ(UnavailableError("breaker open").ToString(),
+            "UNAVAILABLE: breaker open");
 }
 
 TEST(StatusTest, Equality) {

@@ -1,0 +1,315 @@
+// Tests for the shared execution budget: Clock/VirtualClock, Budget caps and
+// deadlines, cooperative cancellation in the chase, and the anytime contract
+// of ProofSearch (deadline or node-cap exhaustion returns the best plan found
+// so far instead of an error).
+
+#include "lcp/base/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "lcp/base/clock.h"
+#include "lcp/chase/engine.h"
+#include "lcp/planner/proof_search.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+TEST(VirtualClockTest, AdvanceSleepAndAutoAdvance) {
+  VirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.SleepMicros(25);
+  EXPECT_EQ(clock.NowMicros(), 175);
+  clock.set_auto_advance(10);
+  EXPECT_EQ(clock.NowMicros(), 175);  // reads the value, then advances
+  EXPECT_EQ(clock.NowMicros(), 185);
+}
+
+TEST(SystemClockTest, MonotoneAndSingleton) {
+  Clock* clock = SystemClock::Instance();
+  int64_t a = clock->NowMicros();
+  int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+  EXPECT_EQ(clock, SystemClock::Instance());
+}
+
+TEST(BudgetTest, UnlimitedBudgetAlwaysPasses) {
+  Budget budget;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(budget.ChargeNode().ok());
+    EXPECT_TRUE(budget.ChargeFiring().ok());
+    EXPECT_TRUE(budget.Check().ok());
+  }
+  EXPECT_FALSE(budget.exhausted());
+  EXPECT_EQ(budget.stats().nodes_charged, 100);
+  EXPECT_EQ(budget.stats().firings_charged, 100);
+  // No deadline armed: Check never consults a clock.
+  EXPECT_EQ(budget.stats().deadline_checks, 0);
+}
+
+TEST(BudgetTest, NodeCapLatchesResourceExhausted) {
+  Budget budget;
+  budget.set_node_cap(3);
+  EXPECT_TRUE(budget.ChargeNode().ok());
+  EXPECT_TRUE(budget.ChargeNode().ok());
+  EXPECT_TRUE(budget.ChargeNode().ok());
+  Status s = budget.ChargeNode();
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_TRUE(budget.stats().node_cap_hit);
+  // Latched: even a plain Check now fails with the same status.
+  EXPECT_EQ(budget.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.Check().message(), s.message());
+}
+
+TEST(BudgetTest, FiringCapIsIndependentOfNodeCap) {
+  Budget budget;
+  budget.set_firing_cap(2);
+  EXPECT_TRUE(budget.ChargeNode().ok());
+  EXPECT_TRUE(budget.ChargeFiring().ok());
+  EXPECT_TRUE(budget.ChargeFiring().ok());
+  EXPECT_EQ(budget.ChargeFiring().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(budget.stats().firing_cap_hit);
+  EXPECT_FALSE(budget.stats().node_cap_hit);
+}
+
+TEST(BudgetTest, DeadlineOnVirtualClock) {
+  VirtualClock clock;
+  Budget budget;
+  budget.SetDeadline(&clock, 1000);
+  EXPECT_TRUE(budget.Check().ok());
+  clock.Advance(999);
+  EXPECT_TRUE(budget.Check().ok());
+  clock.Advance(1);
+  EXPECT_EQ(budget.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(budget.stats().deadline_hit);
+  EXPECT_GE(budget.stats().deadline_checks, 3);
+  // Latched: later checks do not re-read the clock.
+  long long checks = budget.stats().deadline_checks;
+  EXPECT_EQ(budget.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(budget.stats().deadline_checks, checks);
+}
+
+TEST(BudgetTest, NegativeDeadlineMeansAlreadyExpired) {
+  VirtualClock clock;  // starts at 0
+  Budget budget;
+  budget.SetDeadline(&clock, -1);
+  EXPECT_EQ(budget.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(BudgetTest, CancelLatchesCallerStatus) {
+  Budget budget;
+  budget.Cancel(UnavailableError("caller gave up"));
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_TRUE(budget.stats().cancelled);
+  EXPECT_EQ(budget.Check().code(), StatusCode::kUnavailable);
+  // First latch wins: a later cancel does not overwrite it.
+  budget.Cancel(DeadlineExceededError("too late"));
+  EXPECT_EQ(budget.Check().code(), StatusCode::kUnavailable);
+}
+
+TEST(ChaseBudgetTest, ExpiredDeadlineStopsTheChase) {
+  Schema schema;
+  schema.AddRelation("R", 2).value();
+  ASSERT_TRUE(
+      schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> R(y, z)")).ok());
+  auto query = ParseQuery(schema, "Q() :- R(a, b)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+
+  VirtualClock clock;
+  Budget budget;
+  budget.SetDeadline(&clock, 0);  // expires immediately
+  ChaseOptions options;
+  options.budget = &budget;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  // The chase stopped before firing anything: only the canonical database's
+  // two query-variable nulls exist, no invented existential witnesses.
+  EXPECT_EQ(arena.num_nulls(), 2u);
+}
+
+TEST(ChaseBudgetTest, FiringCapStopsTheChaseWithSoundPrefix) {
+  Schema schema;
+  schema.AddRelation("A", 1).value();
+  schema.AddRelation("B", 1).value();
+  schema.AddRelation("C", 1).value();
+  schema.AddRelation("D", 1).value();
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "A(x) -> B(x)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "B(x) -> C(x)")).ok());
+  ASSERT_TRUE(schema.AddConstraint(*ParseTgd(schema, "C(x) -> D(x)")).ok());
+  auto query = ParseQuery(schema, "Q() :- A(u)");
+  TermArena arena;
+  ChaseEngine engine(&schema, &arena);
+  CanonicalDatabase canonical = BuildCanonicalDatabase(*query, arena);
+
+  Budget budget;
+  budget.set_firing_cap(2);
+  ChaseOptions options;
+  options.budget = &budget;
+  auto stats = engine.Run(schema.constraints(), options, canonical.config);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(budget.stats().firings_charged, 3);  // third charge tripped
+  // The facts derived before exhaustion are still present and sound:
+  // A(u) plus at most the two fired heads.
+  EXPECT_GE(canonical.config.size(), 2u);
+  EXPECT_LE(canonical.config.size(), 3u);
+}
+
+TEST(AnytimeSearchTest, NodeCapReturnsBestSoFar) {
+  auto scenario = MakeMultiSourceScenario(4);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto accessible =
+      AccessibleSchema::Build(*scenario->schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  SimpleCostFunction cost(scenario->schema.get());
+  ProofSearch search(&*accessible, &cost);
+
+  // Unbudgeted baseline: full exploration.
+  SearchOptions base_options;
+  base_options.max_access_commands = 3;
+  auto full = search.Run(scenario->query, base_options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(full->best.has_value());
+  EXPECT_TRUE(full->exhaustion.ok());
+  const int full_nodes = full->stats.nodes_created;
+  ASSERT_GT(full_nodes, 2);
+
+  // Scan node caps upward: every capped run must be a sound prefix (never an
+  // error, never a worse-than-baseline claim of optimality), and at least one
+  // cap must land in the anytime regime — budget exhausted with a usable
+  // best-so-far plan.
+  bool saw_anytime_with_plan = false;
+  for (int cap = 1; cap < full_nodes; ++cap) {
+    Budget budget;
+    budget.set_node_cap(cap);
+    SearchOptions options;
+    options.max_access_commands = 3;
+    options.budget = &budget;
+    auto outcome = search.Run(scenario->query, options);
+    ASSERT_TRUE(outcome.ok()) << "cap " << cap << ": " << outcome.status();
+    if (!outcome->exhaustion.ok()) {
+      EXPECT_EQ(outcome->exhaustion.code(), StatusCode::kResourceExhausted)
+          << "cap " << cap;
+      if (outcome->best.has_value()) {
+        saw_anytime_with_plan = true;
+        // Best-so-far can never beat the true optimum.
+        EXPECT_GE(outcome->best->cost, full->best->cost) << "cap " << cap;
+      }
+    } else {
+      // Budget never tripped: the outcome must match the full search.
+      ASSERT_TRUE(outcome->best.has_value());
+      EXPECT_DOUBLE_EQ(outcome->best->cost, full->best->cost);
+    }
+  }
+  EXPECT_TRUE(saw_anytime_with_plan)
+      << "no node cap produced a budget-exhausted outcome carrying a plan";
+}
+
+TEST(AnytimeSearchTest, DeadlineReturnsBestSoFarOnVirtualTime) {
+  auto scenario = MakeMultiSourceScenario(4);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto accessible =
+      AccessibleSchema::Build(*scenario->schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  SimpleCostFunction cost(scenario->schema.get());
+  ProofSearch search(&*accessible, &cost);
+
+  SearchOptions base_options;
+  base_options.max_access_commands = 3;
+  auto full = search.Run(scenario->query, base_options);
+  ASSERT_TRUE(full.ok()) << full.status();
+  ASSERT_TRUE(full->best.has_value());
+
+  // Virtual time advances by 1µs per deadline check, so the deadline value
+  // directly selects how many budget checks the search survives. First run
+  // with an effectively infinite deadline to learn the total check count N,
+  // then sweep ~256 evenly spaced deadlines across [1, N] — every run is
+  // deterministic, so the sweep exercises the whole anytime spectrum.
+  int64_t total_checks = 0;
+  {
+    VirtualClock clock;
+    clock.set_auto_advance(1);
+    Budget budget;
+    budget.SetDeadline(&clock, int64_t{1} << 40);
+    SearchOptions options;
+    options.max_access_commands = 3;
+    options.budget = &budget;
+    auto outcome = search.Run(scenario->query, options);
+    ASSERT_TRUE(outcome.ok()) << outcome.status();
+    EXPECT_TRUE(outcome->exhaustion.ok());
+    ASSERT_TRUE(outcome->best.has_value());
+    EXPECT_DOUBLE_EQ(outcome->best->cost, full->best->cost);
+    total_checks = budget.stats().deadline_checks;
+    ASSERT_GT(total_checks, 2);
+  }
+
+  bool saw_deadline_with_plan = false;
+  bool saw_completion = false;
+  const int64_t step = std::max<int64_t>(1, total_checks / 256);
+  for (int64_t deadline = 1; deadline <= total_checks + step;
+       deadline += step) {
+    VirtualClock clock;
+    clock.set_auto_advance(1);
+    Budget budget;
+    budget.SetDeadline(&clock, deadline);
+    SearchOptions options;
+    options.max_access_commands = 3;
+    options.budget = &budget;
+    auto outcome = search.Run(scenario->query, options);
+    ASSERT_TRUE(outcome.ok()) << "deadline " << deadline << ": "
+                              << outcome.status();
+    if (!outcome->exhaustion.ok()) {
+      EXPECT_EQ(outcome->exhaustion.code(), StatusCode::kDeadlineExceeded)
+          << "deadline " << deadline;
+      EXPECT_TRUE(budget.stats().deadline_hit);
+      if (outcome->best.has_value()) {
+        saw_deadline_with_plan = true;
+        EXPECT_GE(outcome->best->cost, full->best->cost);
+      }
+    } else {
+      saw_completion = true;
+      ASSERT_TRUE(outcome->best.has_value());
+      EXPECT_DOUBLE_EQ(outcome->best->cost, full->best->cost);
+    }
+  }
+  EXPECT_TRUE(saw_deadline_with_plan)
+      << "no deadline produced a budget-exhausted outcome carrying a plan";
+  EXPECT_TRUE(saw_completion)
+      << "search never ran to completion within the deadline sweep";
+}
+
+TEST(AnytimeSearchTest, SharedBudgetCountsChaseFirings) {
+  auto scenario = MakeProfinfoScenario(/*boolean_query=*/true);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  auto accessible =
+      AccessibleSchema::Build(*scenario->schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  SimpleCostFunction cost(scenario->schema.get());
+  ProofSearch search(&*accessible, &cost);
+
+  Budget budget;  // unlimited, just accounting
+  SearchOptions options;
+  options.max_access_commands = 3;
+  options.budget = &budget;
+  auto outcome = search.Run(scenario->query, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  ASSERT_TRUE(outcome->best.has_value());
+  EXPECT_TRUE(outcome->exhaustion.ok());
+  // One budget pool observed the whole episode: search nodes and the
+  // firings of every chase closure the search ran.
+  EXPECT_EQ(budget.stats().nodes_charged, outcome->stats.nodes_created);
+  EXPECT_GT(budget.stats().firings_charged, 0);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,379 @@
+// Tests for the resilience layer: deterministic fault injection, retry /
+// backoff / circuit breakers, deadlines, and the fault/no-fault differential
+// contract (a run that reports `complete` must produce exactly the fault-free
+// output table).
+
+#include "lcp/runtime/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "lcp/base/clock.h"
+#include "lcp/runtime/executor.h"
+
+namespace lcp {
+namespace {
+
+Schema MakeSchema() {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  RelationId s = schema.AddRelation("S", 2).value();
+  schema.AddAccessMethod("mt_r_free", r, {}, 2.0).value();
+  schema.AddAccessMethod("mt_s_by0", s, {0}, 5.0).value();
+  return schema;
+}
+
+/// Pseudo-random instance: R rows feed their second column into S's input
+/// position, with hit/miss mix and multi-row S answers.
+Instance MakeInstance(const Schema& schema, uint64_t seed, int n) {
+  Instance instance(&schema);
+  std::mt19937_64 prng(seed);
+  for (int i = 0; i < n; ++i) {
+    int64_t key = static_cast<int64_t>(prng() % (n * 2));
+    instance.AddFact(0, Tuple{Value::Int(i), Value::Int(key)});
+    if (prng() % 3 != 0) {
+      instance.AddFact(1, Tuple{Value::Int(key), Value::Int(i * 100)});
+      if (prng() % 2 == 0) {
+        instance.AddFact(1, Tuple{Value::Int(key), Value::Int(i * 100 + 1)});
+      }
+    }
+  }
+  return instance;
+}
+
+/// The two-access join plan from the runtime tests: free scan of R, keyed
+/// probe of S, join, project.
+Plan MakeJoinPlan() {
+  Plan plan;
+  AccessCommand first;
+  first.method = 0;
+  first.output_table = "t0";
+  first.output_columns = {{"a", 0}, {"b", 1}};
+  plan.commands.push_back(first);
+  AccessCommand second;
+  second.method = 1;
+  second.input = RaExpr::Project(RaExpr::TempScan("t0"), {"b"});
+  second.input_binding = {{"b", 0}};
+  second.output_table = "t1";
+  second.output_columns = {{"b", 0}, {"c", 1}};
+  plan.commands.push_back(second);
+  plan.commands.push_back(QueryCommand{
+      "t2", RaExpr::Join(RaExpr::TempScan("t0"), RaExpr::TempScan("t1"))});
+  plan.output_table = "t2";
+  plan.output_attrs = {"a", "c"};
+  return plan;
+}
+
+bool SameRows(const Table& a, const Table& b) {
+  if (a.size() != b.size()) return false;
+  for (const Tuple& row : a.rows()) {
+    if (!b.ContainsRow(row)) return false;
+  }
+  return true;
+}
+
+TEST(FaultInjectingSourceTest, ZeroProfileIsTransparent) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, FaultProfile{}, 42, &clock);
+
+  auto outcome = faulty.TryAccess(0, {});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->truncated);
+  EXPECT_EQ(outcome->tuples->size(), instance.relation(0).tuples().size());
+  EXPECT_EQ(faulty.stats().injected_failures, 0u);
+  EXPECT_EQ(clock.NowMicros(), 0);
+}
+
+TEST(FaultInjectingSourceTest, AlwaysFailingMethodInjectsUnavailable) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.transient_failure_rate = 1.0;
+  FaultInjectingSource faulty(&base, profile, 42);
+
+  for (int i = 0; i < 5; ++i) {
+    auto outcome = faulty.TryAccess(0, {});
+    ASSERT_FALSE(outcome.ok());
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(faulty.stats().injected_failures, 5u);
+  // Failed attempts never reach the base source.
+  EXPECT_EQ(base.total_calls(), 0u);
+}
+
+TEST(FaultInjectingSourceTest, PermanentOutageRejectsEveryCall) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.permanent_outages.insert(1);
+  FaultInjectingSource faulty(&base, profile, 7);
+
+  EXPECT_TRUE(faulty.TryAccess(0, {}).ok());
+  auto outcome = faulty.TryAccess(1, {Value::Int(3)});
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(faulty.stats().outage_rejections, 1u);
+}
+
+TEST(FaultInjectingSourceTest, LatencyIsChargedToTheClock) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.latency_base_micros = 250;
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 42, &clock);
+
+  ASSERT_TRUE(faulty.TryAccess(0, {}).ok());
+  ASSERT_TRUE(faulty.TryAccess(0, {}).ok());
+  EXPECT_EQ(clock.NowMicros(), 500);
+  EXPECT_EQ(faulty.stats().simulated_latency_micros, 500);
+}
+
+TEST(FaultInjectingSourceTest, TruncationReturnsFlaggedPrefix) {
+  Schema schema = MakeSchema();
+  Instance instance(&schema);
+  for (int i = 0; i < 10; ++i) {
+    instance.AddFact(1, Tuple{Value::Int(1), Value::Int(i)});
+  }
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.truncation_rate = 1.0;
+  profile.defaults.truncation_keep_fraction = 0.5;
+  FaultInjectingSource faulty(&base, profile, 9);
+
+  auto outcome = faulty.TryAccess(1, {Value::Int(1)});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->truncated);
+  EXPECT_EQ(outcome->tuples->size(), 5u);
+  EXPECT_EQ(faulty.stats().truncations, 1u);
+  // A truncated result is a strict prefix of the full answer.
+  EXPECT_EQ((*outcome->tuples)[0], (Tuple{Value::Int(1), Value::Int(0)}));
+}
+
+TEST(ExecutorRetryTest, RetriesRecoverFromTransientFaults) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 16);
+  SimulatedSource direct(&schema, &instance);
+  auto exact = ExecutePlan(MakeJoinPlan(), direct);
+  ASSERT_TRUE(exact.ok());
+
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.transient_failure_rate = 0.4;
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 2024, &clock);
+  ExecutionOptions options;
+  options.retry.max_attempts = 64;  // enough to make success overwhelming
+  options.clock = &clock;
+  auto run = ExecutePlan(MakeJoinPlan(), faulty, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->complete);
+  EXPECT_TRUE(SameRows(run->output, exact->output));
+  EXPECT_GT(run->retry.failures, 0u);
+  EXPECT_EQ(run->retry.retries, run->retry.failures);
+  EXPECT_GT(run->retry.backoff_micros, 0);
+  // Backoff waits were charged to the virtual clock, not real time.
+  EXPECT_EQ(clock.NowMicros(), run->retry.backoff_micros);
+}
+
+TEST(ExecutorRetryTest, BackoffGrowsExponentiallyAndClamps) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 4);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.transient_failure_rate = 1.0;
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 1, &clock);
+  ExecutionOptions options;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff_micros = 100;
+  options.retry.backoff_multiplier = 2.0;
+  options.retry.max_backoff_micros = 400;
+  options.clock = &clock;
+  auto run = ExecutePlan(MakeJoinPlan(), faulty, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ExecutorRetryTest, BreakerTripsAndShortCircuits) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 16);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.permanent_outages.insert(1);  // S is down; R works
+  FaultInjectingSource faulty(&base, profile, 5);
+  ExecutionOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_micros = 0;
+  options.retry.breaker_threshold = 3;
+  options.retry.best_effort = true;
+  auto run = ExecutePlan(MakeJoinPlan(), faulty, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->complete);
+  EXPECT_GT(run->degraded_accesses, 0);
+  EXPECT_EQ(run->retry.breaker_trips, 1u);
+  EXPECT_GT(run->retry.breaker_short_circuits, 0u);
+  // Once the breaker opened, the outage method was no longer hammered: total
+  // attempts stay well below bindings * max_attempts.
+  EXPECT_LE(faulty.stats().outage_rejections, 3u);
+  // The join over a fully-degraded S probe is empty but well-formed.
+  EXPECT_TRUE(run->output.empty());
+}
+
+TEST(ExecutorRetryTest, StrictModeSurfacesUnavailable) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 16);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.permanent_outages.insert(1);
+  FaultInjectingSource faulty(&base, profile, 5);
+  ExecutionOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_micros = 0;
+  auto run = ExecutePlan(MakeJoinPlan(), faulty, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ExecutorRetryTest, PlanDeadlineAbandonsUnderLatency) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 16);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.latency_base_micros = 1000;  // 1ms per access
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 5, &clock);
+  ExecutionOptions options;
+  options.retry.plan_deadline_micros = 3500;  // only ~3 accesses fit
+  options.clock = &clock;
+  auto strict = ExecutePlan(MakeJoinPlan(), faulty, options);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kDeadlineExceeded);
+
+  // Best-effort: the same deadline yields a degraded-but-usable result.
+  VirtualClock clock2;
+  FaultInjectingSource faulty2(&base, profile, 5, &clock2);
+  options.clock = &clock2;
+  options.retry.best_effort = true;
+  auto degraded = ExecutePlan(MakeJoinPlan(), faulty2, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_FALSE(degraded->complete);
+  EXPECT_GT(degraded->retry.deadline_abandons, 0u);
+}
+
+TEST(ExecutorRetryTest, TruncatedOutcomesMarkResultIncomplete) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 16);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.defaults.truncation_rate = 1.0;
+  FaultInjectingSource faulty(&base, profile, 11);
+  auto run = ExecutePlan(MakeJoinPlan(), faulty, ExecutionOptions{});
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_FALSE(run->complete);
+  EXPECT_GT(run->degraded_accesses, 0);
+}
+
+TEST(ExecutorRetryTest, IdenticalSeedsGiveByteIdenticalSchedules) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 3, 32);
+
+  auto run_once = [&](ExecutionResult* out, FaultStats* fstats) {
+    SimulatedSource base(&schema, &instance);
+    FaultProfile profile;
+    profile.defaults.transient_failure_rate = 0.5;
+    profile.defaults.latency_base_micros = 10;
+    profile.defaults.latency_jitter_micros = 90;
+    VirtualClock clock;
+    FaultInjectingSource faulty(&base, profile, 777, &clock);
+    ExecutionOptions options;
+    options.retry.max_attempts = 32;
+    options.retry.jitter_fraction = 0.5;
+    options.retry.jitter_seed = 99;
+    options.clock = &clock;
+    auto run = ExecutePlan(MakeJoinPlan(), faulty, options);
+    ASSERT_TRUE(run.ok()) << run.status();
+    *out = std::move(*run);
+    *fstats = faulty.stats();
+  };
+
+  ExecutionResult a, b;
+  FaultStats fa, fb;
+  run_once(&a, &fa);
+  run_once(&b, &fb);
+
+  // Byte-identical retry schedules and stats.
+  EXPECT_EQ(a.retry.backoff_schedule, b.retry.backoff_schedule);
+  EXPECT_EQ(a.retry.attempts, b.retry.attempts);
+  EXPECT_EQ(a.retry.failures, b.retry.failures);
+  EXPECT_EQ(a.retry.backoff_micros, b.retry.backoff_micros);
+  EXPECT_EQ(fa.injected_failures, fb.injected_failures);
+  EXPECT_EQ(fa.simulated_latency_micros, fb.simulated_latency_micros);
+  // Identical output tables, row for row.
+  ASSERT_EQ(a.output.size(), b.output.size());
+  EXPECT_EQ(a.output.rows(), b.output.rows());
+  EXPECT_TRUE(a.complete);
+  EXPECT_TRUE(b.complete);
+}
+
+/// The differential contract (see ISSUE/DESIGN): for any seed, executing
+/// with fault rate > 0 and retries enabled must yield the same output table
+/// as the fault-free run whenever the executor reports `complete`.
+/// LCP_FAULT_STRESS_ITERS scales the number of seeds (CI stress job).
+TEST(ExecutorRetryTest, FaultyCompleteRunsMatchFaultFreeDifferential) {
+  int iters = 40;
+  if (const char* env = std::getenv("LCP_FAULT_STRESS_ITERS")) {
+    iters = std::max(1, std::atoi(env));
+  }
+  Schema schema = MakeSchema();
+  Plan plan = MakeJoinPlan();
+  int complete_runs = 0;
+  for (int seed = 0; seed < iters; ++seed) {
+    Instance instance = MakeInstance(schema, seed, 12 + seed % 9);
+    SimulatedSource direct(&schema, &instance);
+    auto exact = ExecutePlan(plan, direct);
+    ASSERT_TRUE(exact.ok());
+
+    SimulatedSource base(&schema, &instance);
+    FaultProfile profile;
+    profile.defaults.transient_failure_rate = 0.3;
+    profile.defaults.latency_base_micros = 5;
+    // Every other seed also injects truncations, which must force
+    // complete=false whenever they land.
+    if (seed % 2 == 1) profile.defaults.truncation_rate = 0.1;
+    VirtualClock clock;
+    FaultInjectingSource faulty(&base, profile, seed * 31 + 7, &clock);
+    ExecutionOptions options;
+    options.retry.max_attempts = 24;
+    options.retry.jitter_fraction = 0.3;
+    options.retry.jitter_seed = seed;
+    options.retry.best_effort = true;
+    options.clock = &clock;
+    auto run = ExecutePlan(plan, faulty, options);
+    ASSERT_TRUE(run.ok()) << "seed " << seed << ": " << run.status();
+    if (run->complete) {
+      ++complete_runs;
+      EXPECT_TRUE(SameRows(run->output, exact->output)) << "seed " << seed;
+      EXPECT_EQ(run->degraded_accesses, 0) << "seed " << seed;
+    } else {
+      // Degraded output never invents rows: it stays a subset of exact.
+      for (const Tuple& row : run->output.rows()) {
+        EXPECT_TRUE(exact->output.ContainsRow(row)) << "seed " << seed;
+      }
+    }
+  }
+  // With 24 attempts at rate 0.3, abandonment is essentially impossible:
+  // most runs must come back complete.
+  EXPECT_GT(complete_runs, iters / 2);
+}
+
+}  // namespace
+}  // namespace lcp

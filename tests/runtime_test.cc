@@ -165,6 +165,109 @@ TEST(ExecutorTest, ErrorsOnUnboundInput) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(ExecutorTest, ErrorsOnBindingToNonInputPosition) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand access;
+  access.method = 1;  // mt_s_by0: only position 0 is an input
+  access.input = RaExpr::Singleton();
+  access.input_binding = {{"b", 1}};  // position 1 is an output position
+  access.output_table = "t";
+  access.output_columns = {{"c", 1}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  auto result = ExecutePlan(plan, source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("not an input"), std::string::npos);
+}
+
+TEST(ExecutorTest, ErrorsOnMissingInputAttribute) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand first;
+  first.method = 0;
+  first.output_table = "t0";
+  first.output_columns = {{"a", 0}};
+  plan.commands.push_back(first);
+  AccessCommand second;
+  second.method = 1;
+  second.input = RaExpr::TempScan("t0");
+  second.input_binding = {{"no_such_attr", 0}};
+  second.output_table = "t1";
+  second.output_columns = {{"c", 1}};
+  plan.commands.push_back(second);
+  plan.output_table = "t1";
+  auto result = ExecutePlan(plan, source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("missing"), std::string::npos);
+}
+
+TEST(ExecutorTest, ErrorsOnConstantAtNonInputPosition) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand access;
+  access.method = 1;  // mt_s_by0
+  access.constant_inputs = {{1, Value::Int(100)}};  // 1 is not an input
+  access.output_table = "t";
+  access.output_columns = {{"c", 1}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  auto result = ExecutePlan(plan, source);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("binds constant"),
+            std::string::npos);
+}
+
+TEST(ExecutorTest, DefaultExecutionReportsComplete) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema);
+  SimulatedSource source(&schema, &instance);
+  Plan plan;
+  AccessCommand access;
+  access.method = 0;
+  access.output_table = "t";
+  access.output_columns = {{"a", 0}};
+  plan.commands.push_back(access);
+  plan.output_table = "t";
+  plan.output_attrs = {"a"};
+  auto result = ExecutePlan(plan, source);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->complete);
+  EXPECT_EQ(result->degraded_accesses, 0);
+  EXPECT_EQ(result->retry.attempts, 1u);
+  EXPECT_EQ(result->retry.failures, 0u);
+  EXPECT_TRUE(result->retry.backoff_schedule.empty());
+}
+
+TEST(AccessPairHashTest, SharedMethodPairsSpreadBuckets) {
+  // Many pairs on one method used to collapse into clustered buckets because
+  // the method contribution was a fixed XOR mask. A proper combine must give
+  // (near-)distinct hashes for distinct bindings and distinct methods.
+  std::unordered_set<size_t> hashes;
+  AccessPairHash hash;
+  constexpr int kBindings = 1000;
+  for (AccessMethodId m = 0; m < 4; ++m) {
+    for (int i = 0; i < kBindings; ++i) {
+      hashes.insert(hash(AccessPair{m, Tuple{Value::Int(i)}}));
+    }
+  }
+  // All 4000 pairs distinct; allow a handful of benign 64-bit collisions.
+  EXPECT_GT(hashes.size(), 4u * kBindings - 4);
+  // Same binding under different methods must not collide systematically.
+  size_t h0 = hash(AccessPair{0, Tuple{Value::Int(7)}});
+  size_t h1 = hash(AccessPair{1, Tuple{Value::Int(7)}});
+  EXPECT_NE(h0, h1);
+}
+
 TEST(ExecutorTest, ErrorsOnMissingOutputTable) {
   Schema schema = MakeSchema();
   Instance instance = MakeInstance(schema);
