@@ -1,0 +1,206 @@
+// Experiment E12: the concurrent query service layer. Three questions:
+//
+//   BM_ServicePlanCold     — per-request cost with the plan cache disabled:
+//                            every request pays a full proof search.
+//   BM_ServicePlanWarm     — the same requests against a warm cache: one
+//                            fingerprint + one sharded probe. The cold/warm
+//                            ratio is the amortization headline
+//                            (bench/run_benches.sh reports it; target >=10x).
+//   BM_ServiceThroughput   — end-to-end plan+execute requests drained by
+//                            1 / 2 / 4 workers (warm cache, per-worker
+//                            sources): thread scaling of the serving path.
+//
+// Queries rotate through α-renamed variants, so the warm numbers include the
+// canonicalizer, not just the hash probe.
+
+#include <benchmark/benchmark.h>
+
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/data/generator.h"
+#include "lcp/runtime/source.h"
+#include "lcp/schema/parser.h"
+#include "lcp/service/service.h"
+#include "lcp/workload/scenarios.h"
+
+namespace {
+
+using namespace lcp;
+
+struct ServiceWorkload {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<AccessibleSchema> accessible;
+  std::unique_ptr<SimpleCostFunction> cost;
+  std::unique_ptr<Instance> instance;
+  /// α-renamed variants of the scenario query: identical cache entry,
+  /// distinct texts through the canonicalizer.
+  std::vector<ConjunctiveQuery> queries;
+
+  ServiceWorkload() {
+    auto scenario = MakeProfinfoScenario(false);
+    schema = std::move(scenario->schema);
+    queries.push_back(scenario->query);
+    for (const char* text :
+         {"Q(p) :- Profinfo(p, room, \"smith\")",
+          "Q(who) :- Profinfo(who, office, \"smith\")",
+          "Q(id) :- Profinfo(id, o, \"smith\")"}) {
+      queries.push_back(ParseQuery(*schema, text).value());
+    }
+    accessible = std::make_unique<AccessibleSchema>(
+        AccessibleSchema::Build(*schema, AccessibleVariant::kStandard)
+            .value());
+    cost = std::make_unique<SimpleCostFunction>(schema.get());
+    GeneratorOptions gen;
+    gen.seed = 7;
+    // Big enough that one request's execution is real work (hundreds of
+    // keyed probes): worker scaling should measure serving, not condvar
+    // hand-off latency.
+    gen.facts_per_relation = 512;
+    gen.domain_size = 256;
+    instance = std::make_unique<Instance>(
+        GenerateInstance(*schema, gen).value());
+  }
+
+  QueryService::SourceFactory Factory() const {
+    const Schema* s = schema.get();
+    const Instance* inst = instance.get();
+    return [s, inst] { return std::make_unique<SimulatedSource>(s, inst); };
+  }
+};
+
+/// Plan-only workload for the cold/warm pair: the chain scenario's proof
+/// search has to walk the referential chain, so a cold plan is real search
+/// work (profinfo's search is nearly as cheap as the cache probe and would
+/// understate the amortization).
+struct PlanWorkload {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<AccessibleSchema> accessible;
+  std::unique_ptr<SimpleCostFunction> cost;
+  std::vector<ConjunctiveQuery> queries;
+
+  PlanWorkload() {
+    auto scenario = MakeChainScenario(4);
+    schema = std::move(scenario->schema);
+    queries.push_back(scenario->query);
+    for (const char* text : {"Q(x) :- R0(x, y)", "Q(head) :- R0(head, next)",
+                             "Q(u) :- R0(u, v)"}) {
+      queries.push_back(ParseQuery(*schema, text).value());
+    }
+    accessible = std::make_unique<AccessibleSchema>(
+        AccessibleSchema::Build(*schema, AccessibleVariant::kStandard)
+            .value());
+    cost = std::make_unique<SimpleCostFunction>(schema.get());
+  }
+};
+
+constexpr int kPlanBatch = 64;
+
+/// Drives one iteration's worth of plan-only requests through the pipeline
+/// (batch-submitted, so the condvar hand-off amortizes like in a loaded
+/// server); returns false on any failure.
+bool DrainPlanBatch(QueryService& service,
+                    const std::vector<ConjunctiveQuery>& queries,
+                    size_t& which) {
+  std::vector<std::future<QueryResponse>> futures;
+  futures.reserve(kPlanBatch);
+  for (int i = 0; i < kPlanBatch; ++i) {
+    QueryRequest request;
+    request.query = queries[which++ % queries.size()];
+    request.execute = false;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    benchmark::DoNotOptimize(response);
+    if (!response.status.ok()) return false;
+  }
+  return true;
+}
+
+void BM_ServicePlanCold(benchmark::State& state) {
+  PlanWorkload w;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.cache_enabled = false;
+  QueryService service(w.accessible.get(), w.cost.get(), nullptr, options);
+  size_t which = 0;
+  for (auto _ : state) {
+    if (!DrainPlanBatch(service, w.queries, which)) {
+      state.SkipWithError("planning failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanBatch);
+  state.counters["searches"] =
+      static_cast<double>(service.SnapshotStats().searches);
+}
+BENCHMARK(BM_ServicePlanCold)->UseRealTime();
+
+void BM_ServicePlanWarm(benchmark::State& state) {
+  PlanWorkload w;
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(w.accessible.get(), w.cost.get(), nullptr, options);
+  QueryRequest warmup;
+  warmup.query = w.queries[0];
+  warmup.execute = false;
+  if (!service.Call(warmup).status.ok()) {
+    state.SkipWithError("warmup planning failed");
+    return;
+  }
+  size_t which = 0;
+  for (auto _ : state) {
+    if (!DrainPlanBatch(service, w.queries, which)) {
+      state.SkipWithError("planning failed");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kPlanBatch);
+  state.counters["hit_rate"] = service.SnapshotStats().CacheHitRate();
+}
+BENCHMARK(BM_ServicePlanWarm)->UseRealTime();
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  constexpr int kBatch = 256;
+  ServiceWorkload w;
+  ServiceOptions options;
+  options.num_workers = workers;
+  QueryService service(w.accessible.get(), w.cost.get(), w.Factory(),
+                       options);
+  QueryRequest warmup;
+  warmup.query = w.queries[0];
+  if (!service.Call(warmup).status.ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      QueryRequest request;
+      request.query = w.queries[i % w.queries.size()];
+      futures.push_back(service.Submit(std::move(request)));
+    }
+    for (auto& future : futures) {
+      QueryResponse response = future.get();
+      if (!response.status.ok()) state.SkipWithError("request failed");
+      benchmark::DoNotOptimize(response);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.counters["hit_rate"] = service.SnapshotStats().CacheHitRate();
+}
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("workers")
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

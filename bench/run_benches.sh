@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Runs the benchmark suite and records the perf trajectory as JSON.
 #
-# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON] [RUNTIME_OUT_JSON]
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON] [RUNTIME_OUT_JSON] \
+#                             [SERVICE_OUT_JSON]
 #   BUILD_DIR         cmake build directory containing the bench binaries
 #                     (default: build)
 #   OUT_JSON          output path for the chase google-benchmark JSON report
 #                     (default: BENCH_chase.json in the current directory)
 #   RUNTIME_OUT_JSON  output path for the runtime-resilience JSON report
 #                     (default: BENCH_runtime.json in the current directory)
+#   SERVICE_OUT_JSON  output path for the query-service JSON report
+#                     (default: BENCH_service.json in the current directory)
 #
 # BENCH_chase.json includes BM_ChaseTransitiveClosure in both evaluation
 # modes (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase),
@@ -18,15 +21,23 @@
 # 10% (BM_ExecuteFaultInjected, rate_permille arg). The rate-0 run vs the
 # direct run is the zero-fault overhead of the retry machinery, printed
 # below when python3 is available (target: <= 5%).
+#
+# BENCH_service.json covers the concurrent query service: per-request plan
+# cost cold (cache disabled) vs warm (BM_ServicePlanCold / BM_ServicePlanWarm
+# — the cache amortization ratio, target >= 10x) and end-to-end throughput
+# with 1 / 2 / 4 workers (BM_ServiceThroughput, thread-scaling of the
+# serving path). Both summaries are printed below.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_chase.json}"
 RUNTIME_OUT_JSON="${3:-BENCH_runtime.json}"
+SERVICE_OUT_JSON="${4:-BENCH_service.json}"
 CHASE_BIN="${BUILD_DIR}/bench/bench_chase"
 RUNTIME_BIN="${BUILD_DIR}/bench/bench_runtime_faults"
+SERVICE_BIN="${BUILD_DIR}/bench/bench_service"
 
-for bin in "${CHASE_BIN}" "${RUNTIME_BIN}"; do
+for bin in "${CHASE_BIN}" "${RUNTIME_BIN}" "${SERVICE_BIN}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found; build first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -73,5 +84,48 @@ for n in sorted(direct, key=int):
         pct = 100.0 * (wrapped0[n] / direct[n] - 1.0)
         print(f"zero-fault overhead (n={n}): {pct:+.1f}% "
               f"(direct {direct[n]:.0f}ns -> wrapped {wrapped0[n]:.0f}ns)")
+EOF
+fi
+
+"${SERVICE_BIN}" \
+  --benchmark_out="${SERVICE_OUT_JSON}" \
+  --benchmark_out_format=json \
+  ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
+
+echo "wrote ${SERVICE_OUT_JSON}"
+
+# Cache amortization (cold/warm plan cost) and worker scaling
+# (items_per_second by worker count). Informational, like the overhead
+# number above.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${SERVICE_OUT_JSON}" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+cold = warm = None
+scaling = {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    if name.startswith("BM_ServicePlanCold"):
+        cold = b.get("items_per_second")
+    elif name.startswith("BM_ServicePlanWarm"):
+        warm = b.get("items_per_second")
+    elif name.startswith("BM_ServiceThroughput/") and "items_per_second" in b:
+        workers = name.split("workers:")[1].split("/")[0]
+        scaling[workers] = b["items_per_second"]
+if cold and warm and cold > 0:
+    print(f"plan-cache amortization: {warm / cold:.1f}x "
+          f"(cold {cold:,.0f} -> warm {warm:,.0f} plans/s)")
+for w in sorted(scaling, key=int):
+    base = scaling.get("1")
+    speedup = f", {scaling[w] / base:.2f}x vs 1 worker" if base else ""
+    print(f"throughput ({w} workers): {scaling[w]:,.0f} req/s{speedup}")
+cores = os.cpu_count() or 1
+if scaling and cores < max(int(w) for w in scaling):
+    print(f"note: host has {cores} core(s); worker scaling beyond that "
+          "measures contention, not speedup")
 EOF
 fi

@@ -16,8 +16,19 @@ bool ChaseConfig::Add(const Fact& fact) {
   return true;
 }
 
-void ChaseConfig::CatchUpPositionalIndex() const {
-  for (size_t i = indexed_up_to_; i < facts_.size(); ++i) {
+void ChaseConfig::EnsureIndexed() const {
+  // Double-checked: the fully-indexed fast path is one acquire load. The
+  // release store below pairs with it, so any reader that sees the updated
+  // watermark also sees the completed map writes.
+  if (indexed_up_to_.load(std::memory_order_acquire) == facts_.size()) return;
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (indexed_up_to_.load(std::memory_order_relaxed) == facts_.size()) return;
+  CatchUpPositionalIndexLocked();
+}
+
+void ChaseConfig::CatchUpPositionalIndexLocked() const {
+  for (size_t i = indexed_up_to_.load(std::memory_order_relaxed);
+       i < facts_.size(); ++i) {
     const Fact& fact = facts_[i];
     for (int32_t pos = 0; pos < static_cast<int32_t>(fact.terms.size());
          ++pos) {
@@ -31,7 +42,7 @@ void ChaseConfig::CatchUpPositionalIndex() const {
       bucket.push_back(static_cast<int>(i));
     }
   }
-  indexed_up_to_ = facts_.size();
+  indexed_up_to_.store(facts_.size(), std::memory_order_release);
 }
 
 const std::vector<int>& ChaseConfig::FactsOf(RelationId relation) const {
@@ -42,7 +53,7 @@ const std::vector<int>& ChaseConfig::FactsOf(RelationId relation) const {
 const std::vector<int>& ChaseConfig::FactsWith(RelationId relation,
                                                int position,
                                                ChaseTermId term) const {
-  if (indexed_up_to_ < facts_.size()) CatchUpPositionalIndex();
+  EnsureIndexed();
   auto it = by_position_.find(
       PosTermKey{relation, static_cast<int32_t>(position), term});
   return it == by_position_.end() ? kNoFacts : it->second;
@@ -50,7 +61,7 @@ const std::vector<int>& ChaseConfig::FactsWith(RelationId relation,
 
 const std::vector<ChaseTermId>& ChaseConfig::TermsAt(RelationId relation,
                                                      int position) const {
-  if (indexed_up_to_ < facts_.size()) CatchUpPositionalIndex();
+  EnsureIndexed();
   auto it = terms_at_.find(PosKey{relation, static_cast<int32_t>(position)});
   return it == terms_at_.end() ? kNoTerms : it->second;
 }

@@ -551,7 +551,7 @@ ProofSearch::ProofSearch(const AccessibleSchema* accessible,
 }
 
 Result<SearchOutcome> ProofSearch::Run(const ConjunctiveQuery& query,
-                                       const SearchOptions& options) {
+                                       const SearchOptions& options) const {
   LCP_RETURN_IF_ERROR(accessible_->base().ValidateQuery(query));
   if (accessible_->variant() != AccessibleVariant::kStandard) {
     return InvalidArgumentError(

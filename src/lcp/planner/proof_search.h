@@ -107,9 +107,15 @@ class ProofSearch {
   /// be monotone if prune_by_cost is enabled.
   ProofSearch(const AccessibleSchema* accessible, const CostFunction* cost);
 
-  /// Runs the search for `query` (a CQ over the base schema).
+  /// Runs the search for `query` (a CQ over the base schema). Const and
+  /// re-entrant: all search state (term arena, chase engine, node store)
+  /// lives in a per-call context, so one ProofSearch may serve concurrent
+  /// Run calls from multiple threads (the QueryService worker pool relies on
+  /// this), provided the accessible schema and cost function are not
+  /// mutated meanwhile. A Budget passed via `options` still belongs to one
+  /// call at a time.
   Result<SearchOutcome> Run(const ConjunctiveQuery& query,
-                            const SearchOptions& options);
+                            const SearchOptions& options) const;
 
  private:
   const AccessibleSchema* accessible_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <sstream>
 #include <unordered_set>
 
@@ -264,6 +265,92 @@ std::string Schema::QueryToString(const ConjunctiveQuery& query) const {
   for (const Atom& a : query.atoms) atoms.push_back(AtomToString(a));
   return StrCat(query.name, "(", StrJoin(query.free_variables, ", "),
                 ") :- ", StrJoin(atoms, ", "));
+}
+
+namespace {
+
+// splitmix64 finalizer: the per-field mixer of the fingerprint.
+uint64_t FingerprintMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-sensitive accumulator: h' = mix(h * prime + field). Field order is
+// part of the fingerprint, so "R then S" differs from "S then R" (relation
+// ids are positional, so that order matters semantically too).
+void FingerprintAdd(uint64_t& h, uint64_t field) {
+  h = FingerprintMix(h * 0x100000001b3ULL + field);
+}
+
+uint64_t FingerprintString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return FingerprintMix(h);
+}
+
+uint64_t FingerprintValue(const Value& v) {
+  return v.is_int() ? FingerprintMix(static_cast<uint64_t>(v.AsInt()) ^
+                                     0x5bf03635aef6a2d1ULL)
+                    : FingerprintString(v.AsString());
+}
+
+void FingerprintAtom(uint64_t& h, const Atom& atom) {
+  FingerprintAdd(h, static_cast<uint64_t>(static_cast<uint32_t>(atom.relation)));
+  FingerprintAdd(h, atom.terms.size());
+  for (const Term& t : atom.terms) {
+    if (t.is_variable()) {
+      FingerprintAdd(h, 0x1);
+      FingerprintAdd(h, FingerprintString(t.var()));
+    } else {
+      FingerprintAdd(h, 0x2);
+      FingerprintAdd(h, FingerprintValue(t.constant()));
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t SchemaFingerprint(const Schema& schema) {
+  uint64_t h = 0x6c63705f65706f63ULL;  // "lcp_epoc"
+  FingerprintAdd(h, schema.num_relations());
+  for (RelationId r = 0; r < schema.num_relations(); ++r) {
+    const Relation& rel = schema.relation(r);
+    FingerprintAdd(h, FingerprintString(rel.name));
+    FingerprintAdd(h, static_cast<uint64_t>(rel.arity));
+  }
+  FingerprintAdd(h, schema.num_access_methods());
+  for (AccessMethodId m = 0; m < schema.num_access_methods(); ++m) {
+    const AccessMethod& method = schema.access_method(m);
+    FingerprintAdd(h, FingerprintString(method.name));
+    FingerprintAdd(h,
+                   static_cast<uint64_t>(static_cast<uint32_t>(method.relation)));
+    FingerprintAdd(h, method.input_positions.size());
+    for (int pos : method.input_positions) {
+      FingerprintAdd(h, static_cast<uint64_t>(pos));
+    }
+    uint64_t cost_bits;
+    static_assert(sizeof(cost_bits) == sizeof(method.cost));
+    std::memcpy(&cost_bits, &method.cost, sizeof(cost_bits));
+    FingerprintAdd(h, cost_bits);
+  }
+  FingerprintAdd(h, schema.constants().size());
+  for (const Value& c : schema.constants()) {
+    FingerprintAdd(h, FingerprintValue(c));
+  }
+  FingerprintAdd(h, schema.constraints().size());
+  for (const Tgd& tgd : schema.constraints()) {
+    FingerprintAdd(h, FingerprintString(tgd.name));
+    FingerprintAdd(h, tgd.body.size());
+    for (const Atom& a : tgd.body) FingerprintAtom(h, a);
+    FingerprintAdd(h, tgd.head.size());
+    for (const Atom& a : tgd.head) FingerprintAtom(h, a);
+  }
+  return h;
 }
 
 }  // namespace lcp

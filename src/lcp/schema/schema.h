@@ -1,6 +1,7 @@
 #ifndef LCP_SCHEMA_SCHEMA_H_
 #define LCP_SCHEMA_SCHEMA_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -111,6 +112,15 @@ class Schema {
   std::vector<Tgd> constraints_;
   std::vector<Value> constants_;
 };
+
+/// A 64-bit structural fingerprint of a schema: relations (name, arity),
+/// access methods (name, relation, input positions, cost), schema constants,
+/// and TGD constraints (names, atom structure, variable identities). Any
+/// edit — adding a relation or method, changing a cost or an input position,
+/// adding or rewording a constraint — changes the fingerprint (w.h.p.).
+/// Deterministic across processes; used as the plan-cache epoch key (see
+/// src/lcp/service).
+uint64_t SchemaFingerprint(const Schema& schema);
 
 }  // namespace lcp
 

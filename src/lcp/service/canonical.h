@@ -1,0 +1,63 @@
+#ifndef LCP_SERVICE_CANONICAL_H_
+#define LCP_SERVICE_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "lcp/logic/conjunctive_query.h"
+
+namespace lcp {
+
+/// A variable-renaming-invariant fingerprint of a conjunctive query. Two
+/// queries that differ only by a bijective renaming of their variables
+/// and/or a permutation of their atoms (with free variables matched by
+/// answer *position*, so the output columns line up) canonicalize to the
+/// same fingerprint and therefore share one plan-cache entry: a plan's
+/// access/join structure depends only on this α-equivalence class.
+///
+/// `key` is the full canonical form — it identifies the class exactly, so
+/// equal keys mean isomorphic queries (no hash-collision false sharing).
+/// `hash` is a 64-bit digest of `key` used for shard selection and fast
+/// inequality.
+struct QueryFingerprint {
+  uint64_t hash = 0;
+  std::string key;
+
+  friend bool operator==(const QueryFingerprint& a, const QueryFingerprint& b) {
+    return a.hash == b.hash && a.key == b.key;
+  }
+  friend bool operator!=(const QueryFingerprint& a, const QueryFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+struct QueryFingerprintHash {
+  size_t operator()(const QueryFingerprint& fp) const {
+    return static_cast<size_t>(fp.hash);
+  }
+};
+
+/// Computes the canonical fingerprint of `query` (§"Canonicalization" of
+/// DESIGN.md). The algorithm:
+///
+///   1. Free variables are numbered by answer position (F0, F1, ...) — they
+///      are distinguished constants of the canonical form.
+///   2. Exact duplicate atoms are dropped (conjunction is idempotent).
+///   3. The atom order and the numbering E0, E1, ... of the existential
+///      variables are chosen together by a deterministic backtracking
+///      search: atoms are emitted one at a time, each candidate rendered
+///      under the numbering-so-far (new existentials numbered tentatively
+///      in order of appearance), only candidates with the lexicographically
+///      minimal rendering are pursued, and ties — genuinely isomorphic
+///      prefixes — branch. The smallest complete rendering wins.
+///
+/// The search is exact (true canonical labeling) for the query sizes this
+/// library plans — worst-case exponential only on highly symmetric queries,
+/// for which a branch cap degrades gracefully to a deterministic greedy
+/// choice: the result is then still a valid fingerprint of the query (equal
+/// keys still imply isomorphism); only some cache sharing may be missed.
+QueryFingerprint CanonicalizeQuery(const ConjunctiveQuery& query);
+
+}  // namespace lcp
+
+#endif  // LCP_SERVICE_CANONICAL_H_

@@ -1,0 +1,217 @@
+#include "lcp/service/service.h"
+
+#include <utility>
+
+#include "lcp/base/strings.h"
+#include "lcp/service/canonical.h"
+
+namespace lcp {
+
+QueryService::QueryService(const AccessibleSchema* accessible,
+                           const CostFunction* cost,
+                           SourceFactory source_factory,
+                           ServiceOptions options)
+    : accessible_(accessible),
+      cost_(cost),
+      source_factory_(std::move(source_factory)),
+      options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Instance()),
+      search_(accessible, cost),
+      cache_(options_.cache),
+      epoch_(1),
+      schema_fingerprint_(SchemaFingerprint(accessible->base())) {
+  // Per-request budgets are armed in Serve; a caller-supplied budget in the
+  // template would be shared across threads, which Budget forbids.
+  options_.search.budget = nullptr;
+  int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+  Job job;
+  job.request = std::move(request);
+  job.enqueue_micros = clock_->NowMicros();
+  std::future<QueryResponse> future = job.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_) {
+      QueryResponse response;
+      response.status =
+          FailedPreconditionError("QueryService is shutting down");
+      job.promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::Call(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+uint64_t QueryService::RefreshSchema() {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  uint64_t fingerprint = SchemaFingerprint(accessible_->base());
+  if (fingerprint != schema_fingerprint_.load(std::memory_order_relaxed)) {
+    schema_fingerprint_.store(fingerprint, std::memory_order_release);
+    uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+    epoch_.store(next, std::memory_order_release);
+    epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+    cache_.EvictBelowEpoch(next);
+  }
+  return epoch_.load(std::memory_order_relaxed);
+}
+
+uint64_t QueryService::BumpEpoch() {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(next, std::memory_order_release);
+  epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
+  cache_.EvictBelowEpoch(next);
+  return next;
+}
+
+ServiceStats QueryService::SnapshotStats() const {
+  ServiceStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.searches = searches_.load(std::memory_order_relaxed);
+  s.executions = executions_.load(std::memory_order_relaxed);
+  s.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
+  s.queue_micros = queue_micros_.load(std::memory_order_relaxed);
+  s.plan_micros = plan_micros_.load(std::memory_order_relaxed);
+  s.exec_micros = exec_micros_.load(std::memory_order_relaxed);
+  s.cache = cache_.stats();
+  return s;
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (shutting_down_ && workers_.empty()) return;
+    shutting_down_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void QueryService::WorkerLoop() {
+  // Each worker owns a private source: AccessSource implementations keep
+  // per-connection state (lazy indexes, accounting) and are not thread-safe.
+  std::unique_ptr<AccessSource> source;
+  if (source_factory_ != nullptr) source = source_factory_();
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job.promise.set_value(
+        Serve(job.request, source.get(), job.enqueue_micros));
+  }
+}
+
+QueryResponse QueryService::Serve(const QueryRequest& request,
+                                  AccessSource* source,
+                                  int64_t enqueue_micros) {
+  QueryResponse response;
+  const int64_t start = clock_->NowMicros();
+  response.queue_micros = start - enqueue_micros;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  response.epoch = epoch;
+
+  QueryFingerprint fingerprint = CanonicalizeQuery(request.query);
+  const bool lookup_cache = options_.cache_enabled && !request.skip_cache;
+  std::shared_ptr<const CachedPlan> plan;
+  if (lookup_cache) plan = cache_.Lookup(fingerprint, epoch);
+  if (plan != nullptr) {
+    response.cache_hit = true;
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    searches_.fetch_add(1, std::memory_order_relaxed);
+    SearchOptions search_options = options_.search;
+    Budget budget;
+    const int64_t budget_micros = request.planning_budget_micros >= 0
+                                      ? request.planning_budget_micros
+                                      : options_.planning_budget_micros;
+    if (budget_micros >= 0) {
+      budget.SetDeadline(clock_, budget_micros);
+      search_options.budget = &budget;
+    }
+    Result<SearchOutcome> outcome = search_.Run(request.query, search_options);
+    if (!outcome.ok()) {
+      response.status = outcome.status();
+    } else if (!outcome->best.has_value()) {
+      // Distinguish "provably no plan" from "budget ran out first".
+      response.status = outcome->exhaustion.ok()
+                            ? NotFoundError(StrCat(
+                                  "no plan with at most ",
+                                  search_options.max_access_commands,
+                                  " access commands answers ",
+                                  request.query.name))
+                            : outcome->exhaustion;
+    } else if (options_.cache_enabled) {
+      // Offered even for skip_cache requests: a freshly planned result can
+      // still serve future hits. Cost-aware admission keeps the cheapest.
+      plan = cache_.Insert(fingerprint, epoch,
+                           std::move(outcome->best->plan),
+                           outcome->best->cost);
+    } else {
+      plan = std::make_shared<const CachedPlan>(
+          CachedPlan{std::move(fingerprint), epoch,
+                     std::move(outcome->best->plan), outcome->best->cost});
+    }
+  }
+  const int64_t planned = clock_->NowMicros();
+  response.plan_micros = planned - start;
+
+  if (response.status.ok() && plan != nullptr) {
+    response.plan = plan;
+    if (request.execute) {
+      if (source == nullptr) {
+        response.status = FailedPreconditionError(
+            "execute requested but the service has no source factory");
+      } else {
+        ExecutionOptions exec_options = options_.execution;
+        if (exec_options.clock == nullptr) exec_options.clock = clock_;
+        Result<ExecutionResult> run =
+            ExecutePlan(plan->plan, *source, exec_options);
+        if (!run.ok()) {
+          response.status = run.status();
+        } else {
+          response.execution = std::move(run).value();
+          response.executed = true;
+          executions_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      response.exec_micros = clock_->NowMicros() - planned;
+    }
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.status.ok()) failed_.fetch_add(1, std::memory_order_relaxed);
+  queue_micros_.fetch_add(response.queue_micros, std::memory_order_relaxed);
+  plan_micros_.fetch_add(response.plan_micros, std::memory_order_relaxed);
+  exec_micros_.fetch_add(response.exec_micros, std::memory_order_relaxed);
+  return response;
+}
+
+}  // namespace lcp

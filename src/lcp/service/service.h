@@ -1,0 +1,213 @@
+#ifndef LCP_SERVICE_SERVICE_H_
+#define LCP_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/clock.h"
+#include "lcp/base/result.h"
+#include "lcp/logic/conjunctive_query.h"
+#include "lcp/plan/cost.h"
+#include "lcp/planner/proof_search.h"
+#include "lcp/runtime/executor.h"
+#include "lcp/service/plan_cache.h"
+
+namespace lcp {
+
+/// Construction-time knobs of a QueryService.
+struct ServiceOptions {
+  /// Fixed worker pool size; at least 1.
+  int num_workers = 4;
+  PlanCache::Options cache;
+  /// Set false to plan every request from scratch (benchmark baseline).
+  bool cache_enabled = true;
+  /// Template for every planning episode. Its `budget` pointer is ignored:
+  /// budgets are per-request (see planning_budget_micros).
+  SearchOptions search;
+  /// Template for every execution. Its `clock` is overridden by `clock`
+  /// below when null.
+  ExecutionOptions execution;
+  /// Per-request planning budget on `clock`; -1 = unlimited. A request that
+  /// exhausts it still returns the best plan found so far (anytime), or
+  /// kDeadlineExceeded if none was found.
+  int64_t planning_budget_micros = -1;
+  /// Clock for latency accounting, budgets, and execution backoff;
+  /// null = process SystemClock.
+  Clock* clock = nullptr;
+};
+
+/// One query-answering request.
+struct QueryRequest {
+  ConjunctiveQuery query;
+  /// False = plan-only (no source access); the response carries the plan.
+  bool execute = true;
+  /// Overrides ServiceOptions::planning_budget_micros when >= 0.
+  int64_t planning_budget_micros = -1;
+  /// Bypass the plan cache for this request (always re-plan; the result is
+  /// still offered to the cache).
+  bool skip_cache = false;
+};
+
+/// The answer to one request.
+struct QueryResponse {
+  /// OK when a plan was found (and, if requested, executed). kNotFound when
+  /// no plan exists within the access budget; kDeadlineExceeded when the
+  /// planning budget expired before any plan was found; execution errors
+  /// propagate as-is.
+  Status status;
+  /// The plan that was served (null if status is not OK). Shared with the
+  /// cache: immutable, safe to hold indefinitely.
+  std::shared_ptr<const CachedPlan> plan;
+  bool cache_hit = false;
+  /// Valid iff `executed`.
+  ExecutionResult execution;
+  bool executed = false;
+  /// Schema epoch the request was served under.
+  uint64_t epoch = 0;
+  /// Per-phase latencies on the service clock.
+  int64_t queue_micros = 0;
+  int64_t plan_micros = 0;
+  int64_t exec_micros = 0;
+};
+
+/// Lock-free snapshot of service-level counters (cumulative; relaxed reads,
+/// monotone but not cross-counter consistent). Cache-level counters live in
+/// PlanCacheStats.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;         ///< Completed with a non-OK status.
+  uint64_t cache_hits = 0;
+  uint64_t searches = 0;       ///< Proof searches actually run.
+  uint64_t executions = 0;
+  uint64_t epoch_bumps = 0;
+  /// Totals for deriving means; on the service clock.
+  int64_t queue_micros = 0;
+  int64_t plan_micros = 0;
+  int64_t exec_micros = 0;
+  PlanCacheStats cache;
+
+  double CacheHitRate() const {
+    uint64_t lookups = cache.hits + cache.misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
+  }
+};
+
+/// A concurrent query-answering service: a fixed worker pool that serves
+/// plan-then-execute requests end-to-end, amortizing proof search through
+/// the canonicalizing PlanCache. This is the serving regime the paper's
+/// cost-guided proof search is built for — the expensive reasoning happens
+/// once per query *shape* per schema epoch; every α-equivalent request
+/// afterwards pays one fingerprint and one cache probe.
+///
+/// Thread model: Submit is safe from any thread and never blocks on
+/// planning; workers pull from a FIFO queue. Each worker owns a private
+/// AccessSource built by the factory (sources are stateful and not
+/// thread-safe), while the AccessibleSchema, CostFunction, and ProofSearch
+/// are shared read-only (ProofSearch::Run is const and re-entrant).
+///
+/// Schema epochs: the service fingerprints the base schema at construction.
+/// After mutating the schema or its constraints (which callers must do only
+/// while no planning is in flight — the schema itself is not guarded),
+/// call RefreshSchema(); if the fingerprint changed, the epoch advances and
+/// all cached plans become unreachable (and are eagerly evicted).
+class QueryService {
+ public:
+  /// A factory producing one private AccessSource per worker thread. May be
+  /// null when every request is plan-only (execute = false).
+  using SourceFactory = std::function<std::unique_ptr<AccessSource>()>;
+
+  /// `accessible` and `cost` must outlive the service.
+  QueryService(const AccessibleSchema* accessible, const CostFunction* cost,
+               SourceFactory source_factory, ServiceOptions options);
+
+  /// Drains in-flight work and joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Enqueues a request; the future resolves when a worker has served it.
+  /// After Shutdown, resolves immediately with kFailedPrecondition.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Convenience: Submit + wait.
+  QueryResponse Call(QueryRequest request);
+
+  /// Re-fingerprints the base schema; if it changed, advances the epoch and
+  /// evicts all stale plans. Returns the current epoch. Safe to call
+  /// concurrently with Submit, but the *schema mutation itself* must have
+  /// happened with planning quiesced (see class comment).
+  uint64_t RefreshSchema();
+
+  /// Test/ops hook: unconditionally advances the epoch (as if the schema
+  /// changed), invalidating every cached plan. Returns the new epoch.
+  uint64_t BumpEpoch();
+
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  uint64_t schema_fingerprint() const {
+    return schema_fingerprint_.load(std::memory_order_acquire);
+  }
+
+  /// Lock-free stats snapshot (service counters + cache counters).
+  ServiceStats SnapshotStats() const;
+
+  const PlanCache& cache() const { return cache_; }
+
+  /// Stops accepting requests, drains the queue, joins workers. Idempotent.
+  void Shutdown();
+
+ private:
+  struct Job {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    int64_t enqueue_micros = 0;
+  };
+
+  void WorkerLoop();
+  QueryResponse Serve(const QueryRequest& request, AccessSource* source,
+                      int64_t enqueue_micros);
+
+  const AccessibleSchema* accessible_;
+  const CostFunction* cost_;
+  SourceFactory source_factory_;
+  ServiceOptions options_;
+  Clock* clock_;
+  ProofSearch search_;
+  PlanCache cache_;
+
+  std::atomic<uint64_t> epoch_;
+  std::atomic<uint64_t> schema_fingerprint_;
+  /// Serializes RefreshSchema/BumpEpoch (epoch reads stay lock-free).
+  std::mutex epoch_mutex_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> searches_{0};
+  std::atomic<uint64_t> executions_{0};
+  std::atomic<uint64_t> epoch_bumps_{0};
+  std::atomic<int64_t> queue_micros_{0};
+  std::atomic<int64_t> plan_micros_{0};
+  std::atomic<int64_t> exec_micros_{0};
+};
+
+}  // namespace lcp
+
+#endif  // LCP_SERVICE_SERVICE_H_

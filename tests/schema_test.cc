@@ -145,5 +145,81 @@ TEST(ParserTest, RoundTripPrinting) {
   EXPECT_EQ(schema.QueryToString(*query), "Q(x) :- R(x, y)");
 }
 
+// --- SchemaFingerprint (the plan-cache epoch key) --------------------------
+
+Schema MakeFingerprintBase() {
+  Schema schema;
+  RelationId r = *schema.AddRelation("R", 2);
+  schema.AddRelation("S", 2).value();
+  schema.AddAccessMethod("m_r", r, {0}, 2.0).value();
+  schema.AddConstant(Value::Str("smith"));
+  EXPECT_TRUE(
+      schema.AddConstraint(*ParseTgd(schema, "R(x, y) -> S(y, x)")).ok());
+  return schema;
+}
+
+TEST(SchemaFingerprintTest, DeterministicAcrossIdenticalBuilds) {
+  EXPECT_EQ(SchemaFingerprint(MakeFingerprintBase()),
+            SchemaFingerprint(MakeFingerprintBase()));
+}
+
+TEST(SchemaFingerprintTest, EveryKindOfEditChangesIt) {
+  const uint64_t base = SchemaFingerprint(MakeFingerprintBase());
+
+  {
+    Schema s = MakeFingerprintBase();
+    s.AddRelation("T", 1).value();
+    EXPECT_NE(SchemaFingerprint(s), base) << "new relation";
+  }
+  {
+    Schema s = MakeFingerprintBase();
+    s.AddAccessMethod("m_s", *s.RelationByName("S"), {}).value();
+    EXPECT_NE(SchemaFingerprint(s), base) << "new access method";
+  }
+  {
+    Schema s = MakeFingerprintBase();
+    s.AddConstant(Value::Int(7));
+    EXPECT_NE(SchemaFingerprint(s), base) << "new constant";
+  }
+  {
+    Schema s = MakeFingerprintBase();
+    ASSERT_TRUE(s.AddConstraint(*ParseTgd(s, "S(x, y) -> R(y, x)")).ok());
+    EXPECT_NE(SchemaFingerprint(s), base) << "new constraint";
+  }
+}
+
+TEST(SchemaFingerprintTest, ConstraintDetailsMatter) {
+  // Same relations/methods, constraints differing only in atom structure or
+  // variable identity must fingerprint apart — the cache invalidation key
+  // has to see *any* constraint edit.
+  auto build = [](const std::string& tgd_text) {
+    Schema s;
+    RelationId r = *s.AddRelation("R", 2);
+    s.AddRelation("S", 2).value();
+    s.AddAccessMethod("m_r", r, {0}).value();
+    EXPECT_TRUE(s.AddConstraint(*ParseTgd(s, tgd_text)).ok());
+    return SchemaFingerprint(s);
+  };
+  const uint64_t a = build("R(x, y) -> S(x, y)");
+  EXPECT_NE(a, build("R(x, y) -> S(y, x)")) << "head variable order";
+  EXPECT_NE(a, build("R(x, x) -> S(x, x)")) << "repeated variable";
+  EXPECT_NE(a, build("R(x, y) -> S(x, z)")) << "existential head variable";
+  EXPECT_NE(a, build("S(x, y) -> R(x, y)")) << "direction flipped";
+}
+
+TEST(SchemaFingerprintTest, MethodDetailsMatter) {
+  auto build = [](std::vector<int> positions, double cost) {
+    Schema s;
+    RelationId r = *s.AddRelation("R", 2);
+    s.AddAccessMethod("m", r, std::move(positions), cost).value();
+    return SchemaFingerprint(s);
+  };
+  const uint64_t a = build({0}, 1.0);
+  EXPECT_NE(a, build({1}, 1.0)) << "input position";
+  EXPECT_NE(a, build({0, 1}, 1.0)) << "extra input position";
+  EXPECT_NE(a, build({0}, 2.0)) << "method cost";
+  EXPECT_NE(a, build({}, 1.0)) << "free access";
+}
+
 }  // namespace
 }  // namespace lcp

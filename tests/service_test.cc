@@ -1,0 +1,356 @@
+#include "lcp/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/data/generator.h"
+#include "lcp/data/query_eval.h"
+#include "lcp/runtime/source.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+/// Everything a QueryService needs for the profinfo scenario: schema,
+/// accessible schema, cost function, a constraint-satisfying instance, and a
+/// factory handing each worker its own SimulatedSource over that instance.
+struct ServiceFixture {
+  std::unique_ptr<Schema> schema;
+  ConjunctiveQuery query;
+  std::unique_ptr<AccessibleSchema> accessible;
+  std::unique_ptr<SimpleCostFunction> cost;
+  std::unique_ptr<Instance> instance;
+
+  QueryService::SourceFactory Factory() const {
+    const Schema* s = schema.get();
+    const Instance* inst = instance.get();
+    return [s, inst] { return std::make_unique<SimulatedSource>(s, inst); };
+  }
+};
+
+ServiceFixture MakeProfinfoFixture(uint64_t seed = 42) {
+  auto scenario = MakeProfinfoScenario(false);
+  EXPECT_TRUE(scenario.ok()) << scenario.status();
+  ServiceFixture fx;
+  fx.schema = std::move(scenario->schema);
+  fx.query = std::move(scenario->query);
+  auto accessible =
+      AccessibleSchema::Build(*fx.schema, AccessibleVariant::kStandard);
+  EXPECT_TRUE(accessible.ok()) << accessible.status();
+  fx.accessible =
+      std::make_unique<AccessibleSchema>(std::move(accessible).value());
+  fx.cost = std::make_unique<SimpleCostFunction>(fx.schema.get());
+  GeneratorOptions gen;
+  gen.seed = seed;
+  gen.facts_per_relation = 12;
+  gen.domain_size = 15;
+  auto instance = GenerateInstance(*fx.schema, gen);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  fx.instance = std::make_unique<Instance>(std::move(instance).value());
+  return fx;
+}
+
+std::set<Tuple> Rows(const QueryResponse& response) {
+  return std::set<Tuple>(response.execution.output.rows().begin(),
+                         response.execution.output.rows().end());
+}
+
+std::set<Tuple> Oracle(const ConjunctiveQuery& query,
+                       const Instance& instance) {
+  std::vector<Tuple> rows = EvaluateQuery(query, instance);
+  return std::set<Tuple>(rows.begin(), rows.end());
+}
+
+TEST(ServiceTest, EndToEndMatchesOracle) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+
+  QueryRequest request;
+  request.query = fx.query;
+  QueryResponse response = service.Call(request);
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  ASSERT_TRUE(response.executed);
+  ASSERT_NE(response.plan, nullptr);
+  EXPECT_FALSE(response.cache_hit);
+  EXPECT_EQ(response.epoch, 1u);
+  EXPECT_EQ(Rows(response), Oracle(fx.query, *fx.instance));
+}
+
+TEST(ServiceTest, RepeatAndRenamedQueriesHitTheCache) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+
+  QueryRequest request;
+  request.query = fx.query;
+  QueryResponse first = service.Call(request);
+  ASSERT_TRUE(first.status.ok()) << first.status;
+  EXPECT_FALSE(first.cache_hit);
+
+  QueryResponse second = service.Call(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cache_hit);
+
+  // An α-renamed copy of the same query is the same cache entry.
+  auto renamed =
+      ParseQuery(*fx.schema, "Q(person) :- Profinfo(person, room, \"smith\")");
+  ASSERT_TRUE(renamed.ok()) << renamed.status();
+  QueryRequest renamed_request;
+  renamed_request.query = *renamed;
+  QueryResponse third = service.Call(renamed_request);
+  ASSERT_TRUE(third.status.ok());
+  EXPECT_TRUE(third.cache_hit);
+  EXPECT_EQ(Rows(third), Oracle(fx.query, *fx.instance));
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 1u) << "one proof search amortized over 3 calls";
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_GT(stats.CacheHitRate(), 0.5);
+}
+
+TEST(ServiceTest, BumpEpochInvalidatesCachedPlans) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+  QueryRequest request;
+  request.query = fx.query;
+  ASSERT_TRUE(service.Call(request).status.ok());
+  ASSERT_TRUE(service.Call(request).cache_hit);
+
+  EXPECT_EQ(service.BumpEpoch(), 2u);
+  EXPECT_EQ(service.cache().size(), 0u) << "bump evicts eagerly";
+
+  QueryResponse after = service.Call(request);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit) << "old-epoch plan must not be served";
+  EXPECT_EQ(after.epoch, 2u);
+  EXPECT_TRUE(service.Call(request).cache_hit) << "re-cached at new epoch";
+}
+
+TEST(ServiceTest, RefreshSchemaOnlyBumpsOnRealChange) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+  const uint64_t fingerprint = service.schema_fingerprint();
+  EXPECT_EQ(service.RefreshSchema(), 1u) << "unchanged schema: same epoch";
+  EXPECT_EQ(service.schema_fingerprint(), fingerprint);
+
+  // A real edit (new constant) advances the epoch exactly once.
+  fx.schema->AddConstant(Value::Int(777));
+  EXPECT_EQ(service.RefreshSchema(), 2u);
+  EXPECT_NE(service.schema_fingerprint(), fingerprint);
+  EXPECT_EQ(service.RefreshSchema(), 2u) << "idempotent until the next edit";
+}
+
+TEST(ServiceTest, PlanOnlyRequestsNeedNoSourceFactory) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), nullptr,
+                       ServiceOptions{});
+  QueryRequest request;
+  request.query = fx.query;
+  request.execute = false;
+  QueryResponse response = service.Call(request);
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  ASSERT_NE(response.plan, nullptr);
+  EXPECT_FALSE(response.executed);
+  EXPECT_GT(response.plan->plan.NumAccessCommands(), 0);
+
+  // But asking such a service to execute is a caller error.
+  request.execute = true;
+  EXPECT_EQ(service.Call(request).status.code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ServiceTest, UnanswerableQueryReturnsNotFound) {
+  // R(x) reachable only through an input-requiring method, and nothing
+  // supplies the input: provably no plan.
+  auto schema = std::make_unique<Schema>();
+  RelationId r = *schema->AddRelation("R", 1);
+  ASSERT_TRUE(schema->AddAccessMethod("m_r", r, {0}).ok());
+  auto accessible =
+      AccessibleSchema::Build(*schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok());
+  SimpleCostFunction cost(schema.get());
+  QueryService service(&*accessible, &cost, nullptr, ServiceOptions{});
+
+  QueryRequest request;
+  auto query = ParseQuery(*schema, "Q(x) :- R(x)");
+  ASSERT_TRUE(query.ok());
+  request.query = *query;
+  request.execute = false;
+  QueryResponse response = service.Call(request);
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(response.plan, nullptr);
+  EXPECT_EQ(service.SnapshotStats().failed, 1u);
+}
+
+TEST(ServiceTest, SkipCacheReplansButStillOffersTheResult) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+  QueryRequest skip;
+  skip.query = fx.query;
+  skip.skip_cache = true;
+  EXPECT_FALSE(service.Call(skip).cache_hit);
+  EXPECT_FALSE(service.Call(skip).cache_hit) << "skip_cache always re-plans";
+  EXPECT_EQ(service.SnapshotStats().searches, 2u);
+
+  QueryRequest normal;
+  normal.query = fx.query;
+  EXPECT_TRUE(service.Call(normal).cache_hit)
+      << "skip_cache results are still offered to the cache";
+}
+
+TEST(ServiceTest, DisabledCacheAlwaysPlans) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  ServiceOptions options;
+  options.cache_enabled = false;
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       options);
+  QueryRequest request;
+  request.query = fx.query;
+  for (int i = 0; i < 2; ++i) {
+    QueryResponse response = service.Call(request);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_FALSE(response.cache_hit);
+    ASSERT_NE(response.plan, nullptr);
+    EXPECT_EQ(Rows(response), Oracle(fx.query, *fx.instance));
+  }
+  EXPECT_EQ(service.SnapshotStats().searches, 2u);
+  EXPECT_EQ(service.cache().size(), 0u);
+}
+
+TEST(ServiceTest, SubmitAfterShutdownFailsFast) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+  service.Shutdown();
+  QueryRequest request;
+  request.query = fx.query;
+  EXPECT_EQ(service.Call(request).status.code(),
+            StatusCode::kFailedPrecondition);
+  service.Shutdown();  // idempotent
+}
+
+TEST(ServiceTest, ShutdownDrainsQueuedRequests) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       options);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    QueryRequest request;
+    request.query = fx.query;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  service.Shutdown();
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    EXPECT_TRUE(response.status.ok()) << response.status;
+  }
+}
+
+// --- concurrent stress: mixed queries + mid-run epoch bumps ----------------
+//
+// 8 client threads fire α-equivalent and distinct queries (some skip_cache)
+// at an 8-worker service while a ninth thread repeatedly bumps the epoch.
+// Every response must still be correct; counters must balance. Run under
+// TSan in CI (see .github/workflows/ci.yml); LCP_SERVICE_STRESS_ITERS scales
+// the per-thread iteration count.
+
+int StressIters() {
+  const char* env = std::getenv("LCP_SERVICE_STRESS_ITERS");
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return 40;
+}
+
+TEST(ServiceStressTest, ConcurrentMixedQueriesWithEpochBumps) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  ServiceOptions options;
+  options.num_workers = 8;
+  options.cache.num_shards = 4;
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       options);
+
+  // Query mix over the same schema: the scenario query, two α-renamings of
+  // it (same cache entry), a projection over the free-access relation, and
+  // the boolean variant — each with its oracle answer.
+  std::vector<ConjunctiveQuery> queries = {fx.query};
+  for (const char* text :
+       {"Q(p) :- Profinfo(p, r, \"smith\")",
+        "Q(who) :- Profinfo(who, office, \"smith\")",
+        "Q(e, l) :- Udirect(e, l)", "Q(l) :- Udirect(e, l)",
+        "Q() :- Profinfo(eid, onum, lname)"}) {
+    auto query = ParseQuery(*fx.schema, text);
+    ASSERT_TRUE(query.ok()) << text << ": " << query.status();
+    queries.push_back(std::move(query).value());
+  }
+  std::vector<std::set<Tuple>> oracles;
+  for (const ConjunctiveQuery& query : queries) {
+    oracles.push_back(Oracle(query, *fx.instance));
+  }
+
+  const int iters = StressIters();
+  constexpr int kClientThreads = 8;
+  std::atomic<bool> stop{false};
+  std::atomic<int> wrong_answers{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < iters; ++i) {
+        size_t which = static_cast<size_t>(t + i) % queries.size();
+        QueryRequest request;
+        request.query = queries[which];
+        request.skip_cache = (t + i) % 7 == 0;
+        QueryResponse response = service.Call(request);
+        if (!response.status.ok() || Rows(response) != oracles[which]) {
+          wrong_answers.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread bumper([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      service.BumpEpoch();
+      service.RefreshSchema();  // no schema edit: must be a no-op
+      std::this_thread::yield();
+    }
+  });
+
+  for (std::thread& client : clients) client.join();
+  stop.store(true, std::memory_order_release);
+  bumper.join();
+  service.Shutdown();
+
+  EXPECT_EQ(wrong_answers.load(), 0);
+  ServiceStats stats = service.SnapshotStats();
+  const uint64_t total =
+      static_cast<uint64_t>(kClientThreads) * static_cast<uint64_t>(iters);
+  EXPECT_EQ(stats.submitted, total);
+  EXPECT_EQ(stats.completed, total);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.searches, total)
+      << "every request either hit the cache or ran a proof search";
+  EXPECT_GE(stats.epoch_bumps, 1u);
+  EXPECT_EQ(service.epoch(), stats.epoch_bumps + 1);
+}
+
+}  // namespace
+}  // namespace lcp
