@@ -9,12 +9,19 @@
 //   BM_ServiceThroughput   — end-to-end plan+execute requests drained by
 //                            1 / 2 / 4 workers (warm cache, per-worker
 //                            sources): thread scaling of the serving path.
+//   BM_ServiceOverload     — a burst at 4x the service's capacity against a
+//                            bounded queue (kRejectNew): goodput and shed
+//                            rate under overload, plus the p50/p99 latency
+//                            of a *rejected* Submit — the fast-fail path
+//                            must stay microseconds while workers grind.
 //
 // Queries rotate through α-renamed variants, so the warm numbers include the
 // canonicalizer, not just the hash probe.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <future>
 #include <memory>
 #include <vector>
@@ -110,7 +117,7 @@ bool DrainPlanBatch(QueryService& service,
     QueryRequest request;
     request.query = queries[which++ % queries.size()];
     request.execute = false;
-    futures.push_back(service.Submit(std::move(request)));
+    futures.push_back(service.Submit(std::move(request)).future);
   }
   for (auto& future : futures) {
     QueryResponse response = future.get();
@@ -183,7 +190,7 @@ void BM_ServiceThroughput(benchmark::State& state) {
     for (int i = 0; i < kBatch; ++i) {
       QueryRequest request;
       request.query = w.queries[i % w.queries.size()];
-      futures.push_back(service.Submit(std::move(request)));
+      futures.push_back(service.Submit(std::move(request)).future);
     }
     for (auto& future : futures) {
       QueryResponse response = future.get();
@@ -200,6 +207,65 @@ BENCHMARK(BM_ServiceThroughput)
     ->Arg(4)
     ->ArgName("workers")
     ->UseRealTime();
+
+void BM_ServiceOverload(benchmark::State& state) {
+  ServiceWorkload w;
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.max_queue_depth = 32;
+  options.shed_policy = ShedPolicy::kRejectNew;
+  QueryService service(w.accessible.get(), w.cost.get(), w.Factory(),
+                       options);
+  QueryRequest warmup;
+  warmup.query = w.queries[0];
+  if (!service.Call(warmup).status.ok()) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+  // 4x the service's standing capacity (workers + queue slots).
+  const int burst = 4 * (options.num_workers +
+                         static_cast<int>(options.max_queue_depth));
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  std::vector<double> reject_us;
+  for (auto _ : state) {
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(burst);
+    for (int i = 0; i < burst; ++i) {
+      QueryRequest request;
+      request.query = w.queries[static_cast<size_t>(i) % w.queries.size()];
+      const auto before = std::chrono::steady_clock::now();
+      SubmitHandle handle = service.Submit(std::move(request));
+      const auto after = std::chrono::steady_clock::now();
+      if (handle.ticket == 0) {
+        ++rejected;
+        reject_us.push_back(
+            std::chrono::duration<double, std::micro>(after - before)
+                .count());
+      }
+      futures.push_back(std::move(handle.future));
+    }
+    for (auto& future : futures) {
+      QueryResponse response = future.get();
+      if (response.status.ok()) ++ok;
+      benchmark::DoNotOptimize(response);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * burst);
+  const double total =
+      static_cast<double>(state.iterations()) * static_cast<double>(burst);
+  state.counters["goodput"] = benchmark::Counter(
+      static_cast<double>(ok), benchmark::Counter::kIsRate);
+  state.counters["shed_rate"] =
+      total == 0 ? 0.0 : static_cast<double>(rejected) / total;
+  if (!reject_us.empty()) {
+    std::sort(reject_us.begin(), reject_us.end());
+    state.counters["reject_p50_us"] = reject_us[reject_us.size() / 2];
+    state.counters["reject_p99_us"] =
+        reject_us[reject_us.size() * 99 / 100];
+  }
+}
+BENCHMARK(BM_ServiceOverload)->UseRealTime();
 
 }  // namespace
 

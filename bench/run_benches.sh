@@ -24,9 +24,12 @@
 #
 # BENCH_service.json covers the concurrent query service: per-request plan
 # cost cold (cache disabled) vs warm (BM_ServicePlanCold / BM_ServicePlanWarm
-# — the cache amortization ratio, target >= 10x) and end-to-end throughput
+# — the cache amortization ratio, target >= 10x), end-to-end throughput
 # with 1 / 2 / 4 workers (BM_ServiceThroughput, thread-scaling of the
-# serving path). Both summaries are printed below.
+# serving path), and overload behavior against a bounded queue
+# (BM_ServiceOverload: goodput, shed rate, and the p50/p99 latency of a
+# rejected Submit — the fast-fail path should stay in the microseconds).
+# All summaries are printed below.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -103,7 +106,7 @@ import json, os, sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-cold = warm = None
+cold = warm = overload = None
 scaling = {}
 for b in report.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
@@ -116,9 +119,17 @@ for b in report.get("benchmarks", []):
     elif name.startswith("BM_ServiceThroughput/") and "items_per_second" in b:
         workers = name.split("workers:")[1].split("/")[0]
         scaling[workers] = b["items_per_second"]
+    elif name.startswith("BM_ServiceOverload"):
+        overload = b
 if cold and warm and cold > 0:
     print(f"plan-cache amortization: {warm / cold:.1f}x "
           f"(cold {cold:,.0f} -> warm {warm:,.0f} plans/s)")
+if overload is not None:
+    print(f"overload (4x capacity burst): "
+          f"goodput {overload.get('goodput', 0):,.0f} req/s, "
+          f"shed rate {100 * overload.get('shed_rate', 0):.0f}%, "
+          f"reject latency p50 {overload.get('reject_p50_us', 0):.1f}us / "
+          f"p99 {overload.get('reject_p99_us', 0):.1f}us")
 for w in sorted(scaling, key=int):
     base = scaling.get("1")
     speedup = f", {scaling[w] / base:.2f}x vs 1 worker" if base else ""

@@ -4,7 +4,9 @@
 // first request for a query shape pays a full proof search; every
 // α-equivalent request afterwards — same shape, renamed variables — costs
 // one fingerprint and one cache probe. Schema edits advance an epoch that
-// invalidates cached plans.
+// invalidates cached plans. The service also hardens the request lifecycle
+// (DESIGN.md §7): bounded admission, end-to-end deadlines, cancellation
+// tickets, and edge validation — the tail of this demo shows each refusal.
 //
 // Build & run:  ./build/examples/service_demo
 
@@ -45,6 +47,10 @@ int main() {
   SimpleCostFunction cost(&schema);
   ServiceOptions options;
   options.num_workers = 4;
+  // Admission control: at most 64 queued requests; when full, fast-fail the
+  // newcomer with kResourceExhausted instead of queueing without bound.
+  options.max_queue_depth = 64;
+  options.shed_policy = ShedPolicy::kRejectNew;
   QueryService service(
       &accessible, &cost,
       [&] { return std::make_unique<SimulatedSource>(&schema, &instance); },
@@ -81,9 +87,34 @@ int main() {
   report("after edit     ", service.Call(request));
   report("steady state   ", service.Call(renamed));
 
+  // --- 5. The lifecycle edges: deadlines, cancellation, validation. -------
+  QueryRequest hopeless = request;
+  hopeless.deadline_micros = 0;  // already expired at Submit
+  std::cout << "\nzero deadline   -> "
+            << service.Call(hopeless).status.ToString() << "\n";
+
+  // Cancellation is inherently a race from the caller's side: the cancel
+  // may catch the request queued (kCancelled immediately), in flight
+  // (kCancelled at the next poll), or already served (OK). All are valid;
+  // the guarantee is only that the future resolves exactly once.
+  SubmitHandle ticketed = service.Submit(request);
+  service.Cancel(ticketed.ticket);
+  std::cout << "cancel raced    -> "
+            << ticketed.future.get().status.ToString() << "\n";
+
+  QueryRequest malformed;
+  malformed.query = request.query;
+  malformed.query.free_variables.push_back("unbound");
+  std::cout << "malformed query -> "
+            << service.Call(malformed).status.ToString() << "\n";
+
   ServiceStats stats = service.SnapshotStats();
-  std::cout << "\nservice stats: " << stats.completed << " served, "
-            << stats.searches << " proof searches, " << stats.cache_hits
-            << " cache hits (hit rate " << stats.CacheHitRate() << ")\n";
+  std::cout << "\nservice stats: " << stats.submitted << " submitted = "
+            << stats.completed << " completed + " << stats.rejected
+            << " rejected + " << stats.shed << " shed + " << stats.cancelled
+            << " cancelled; " << stats.searches << " proof searches, "
+            << stats.cache_hits << " cache hits (hit rate "
+            << stats.CacheHitRate() << "), queue high-water "
+            << stats.queue_depth_high_water << "\n";
   return 0;
 }

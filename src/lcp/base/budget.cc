@@ -23,6 +23,11 @@ void Budget::Cancel(Status status) {
 
 Status Budget::Evaluate() {
   if (!exhaustion_.ok()) return exhaustion_;
+  if (cancel_token_ != nullptr && cancel_token_->cancelled()) {
+    stats_.cancelled = true;
+    exhaustion_ = Status(cancel_token_->code(), "budget cancelled via token");
+    return exhaustion_;
+  }
   if (node_cap_ >= 0 && stats_.nodes_charged > node_cap_) {
     stats_.node_cap_hit = true;
     exhaustion_ = ResourceExhaustedError(

@@ -1,12 +1,40 @@
 #ifndef LCP_BASE_BUDGET_H_
 #define LCP_BASE_BUDGET_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "lcp/base/clock.h"
 #include "lcp/base/status.h"
 
 namespace lcp {
+
+/// A thread-safe, latching cancellation flag: Cancel() may be called from
+/// any thread (a service's Cancel(ticket) or abort shutdown); the owning
+/// planning/execution thread observes it through Budget::Check and the
+/// executor's access loop at their natural poll points. The first Cancel
+/// wins and fixes the status code reported to the worker (kCancelled for a
+/// caller cancellation, kUnavailable for an abort shutdown, ...); later
+/// calls are no-ops.
+class CancelToken {
+ public:
+  void Cancel(StatusCode code = StatusCode::kCancelled) {
+    int expected = 0;
+    code_.compare_exchange_strong(expected, static_cast<int>(code),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+  bool cancelled() const {
+    return code_.load(std::memory_order_acquire) != 0;
+  }
+  /// kOk while not cancelled; the first Cancel's code afterwards.
+  StatusCode code() const {
+    return static_cast<StatusCode>(code_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::atomic<int> code_{0};
+};
 
 /// Accounting attached to a Budget. Shared across every component the budget
 /// is threaded through (ProofSearch nodes, ChaseEngine firings).
@@ -47,6 +75,13 @@ class Budget {
   /// Cooperative cancellation: all subsequent checks fail with `status`.
   void Cancel(Status status);
 
+  /// Attaches a cross-thread cancellation token: every Charge*/Check call
+  /// polls it, and a tripped token latches as the exhaustion status (with
+  /// the token's code). This is how another thread cancels a planning
+  /// episode in flight — the Budget itself stays single-owner; only the
+  /// token is shared. Not owned; must outlive the budget's use.
+  void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
+
   /// Records one search-node expansion / chase firing, then re-evaluates the
   /// limits. Returns OK or the (latched) exhaustion status.
   Status ChargeNode();
@@ -66,6 +101,7 @@ class Budget {
   Status Evaluate();
 
   Clock* clock_ = nullptr;
+  const CancelToken* cancel_token_ = nullptr;
   int64_t deadline_micros_ = -1;  ///< Absolute; -1 = no deadline.
   long long node_cap_ = -1;       ///< -1 = unlimited.
   long long firing_cap_ = -1;

@@ -1,6 +1,7 @@
 #ifndef LCP_BASE_CLOCK_H_
 #define LCP_BASE_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace lcp {
@@ -57,6 +58,33 @@ class VirtualClock : public Clock {
  private:
   int64_t now_;
   int64_t auto_advance_ = 0;
+};
+
+/// Thread-safe deterministic clock for multi-threaded tests (the service
+/// chaos harness): many worker threads read and sleep on it while a driver
+/// thread advances time. Unlike VirtualClock it is safe to share across
+/// threads; like it, SleepMicros advances virtual time instead of blocking,
+/// so backoff schedules and injected latency are observed instantly. The
+/// *sequence* of reads across threads is scheduler-dependent, but time is
+/// monotone and every advance is atomic.
+class SharedVirtualClock : public Clock {
+ public:
+  explicit SharedVirtualClock(int64_t start_micros = 0)
+      : now_(start_micros) {}
+
+  int64_t NowMicros() override {
+    return now_.load(std::memory_order_acquire);
+  }
+  void SleepMicros(int64_t micros) override {
+    if (micros > 0) now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+  void Advance(int64_t micros) {
+    if (micros > 0) now_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
 };
 
 }  // namespace lcp

@@ -25,6 +25,10 @@ enum class StatusCode {
   /// A source (or a circuit breaker guarding it) refused the call; typically
   /// transient and safe to retry with backoff.
   kUnavailable = 10,
+  /// The operation was cancelled, typically by the caller (see CancelToken
+  /// and QueryService::Cancel). Distinct from kDeadlineExceeded: the request
+  /// was abandoned deliberately, not timed out.
+  kCancelled = 11,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -71,6 +75,7 @@ Status InternalError(std::string message);
 Status ResourceExhaustedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status UnavailableError(std::string message);
+Status CancelledError(std::string message);
 
 /// Propagates a non-OK status to the caller. Usable in functions returning
 /// `Status` or `Result<T>`.

@@ -197,6 +197,18 @@ bool SearchContext::CheckSuccess(Node& node) {
   return HasHomomorphism(query_pattern_, node.config, std::move(assignment));
 }
 
+// GCC 12's middle end, at some inlining depths, reports false-positive
+// -Wrestrict / -Wmaybe-uninitialized warnings for std::variant<Command>
+// relocations inside the commands.push_back calls in RecordSuccess and
+// Expand (all AccessCommand members have default initializers; nothing here
+// reads uninitialized state). Suppress narrowly around these functions to
+// keep the build warning-clean.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 void SearchContext::RecordSuccess(Node& node) {
   node.success = true;
   ++outcome_.stats.successes;
@@ -462,6 +474,10 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
   }
   return child_id;
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void SearchContext::Log(const Node& node, const std::string& status) {
   if (!options_.collect_exploration_log) return;

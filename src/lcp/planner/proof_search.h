@@ -59,7 +59,12 @@ struct SearchOptions {
   /// the root and per-node chase closures, so one budget bounds the whole
   /// planning episode. Exhaustion makes the search *anytime*: Run returns
   /// the best plan found so far with SearchOutcome::exhaustion set instead
-  /// of failing. Not owned; null = unlimited.
+  /// of failing. A CancelToken attached to the budget makes the episode
+  /// cancellable from another thread through the same poll points (the
+  /// QueryService relies on this for Cancel and abort shutdown); exhaustion
+  /// then carries the token's code, and callers that no longer want the
+  /// answer should discard the best-so-far plan. Not owned; null =
+  /// unlimited.
   Budget* budget = nullptr;
 };
 

@@ -20,6 +20,7 @@ struct RetryState {
       : policy(options.retry),
         clock(options.clock != nullptr ? options.clock
                                        : SystemClock::Instance()),
+        cancel(options.cancel),
         jitter_prng(options.retry.jitter_seed),
         result(&result) {
     if (policy.breaker_threshold > 0) {
@@ -33,6 +34,7 @@ struct RetryState {
 
   const RetryPolicy& policy;
   Clock* clock;
+  const CancelToken* cancel;
   std::mt19937_64 jitter_prng;
   ExecutionResult* result;
   std::vector<int> consecutive_failures;
@@ -61,6 +63,12 @@ Result<AccessOutcome> AccessWithRetry(AccessSource& source,
 
   Status last_failure;
   for (int attempt = 1;; ++attempt) {
+    if (rs.cancel != nullptr && rs.cancel->cancelled()) {
+      return Status(rs.cancel->code(),
+                    StrCat("execution cancelled before attempt ", attempt,
+                           " of access to ",
+                           source.schema().access_method(method).name));
+    }
     if (rs.plan_deadline_abs >= 0 || access_deadline_abs >= 0) {
       const int64_t now = rs.clock->NowMicros();
       if ((rs.plan_deadline_abs >= 0 && now >= rs.plan_deadline_abs) ||
@@ -125,6 +133,9 @@ Result<AccessOutcome> AccessWithRetry(AccessSource& source,
 /// simply missing from the output and execution continues.
 bool DegradeOrFail(const Status& failure, RetryState& rs) {
   const StatusCode code = failure.code();
+  // A tripped cancel token always aborts: degrading would keep walking the
+  // remaining bindings of a request nobody is waiting for.
+  if (rs.cancel != nullptr && rs.cancel->cancelled()) return false;
   if (!rs.policy.best_effort || (code != StatusCode::kUnavailable &&
                                  code != StatusCode::kDeadlineExceeded)) {
     return false;
@@ -266,6 +277,10 @@ Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
   RetryState rs(options, source.schema(), result);
   TableEnv env;
   for (const Command& cmd : plan.commands) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status(options.cancel->code(),
+                    "plan execution cancelled between commands");
+    }
     if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
       ++result.access_commands;
       LCP_RETURN_IF_ERROR(

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lcp/base/budget.h"
 #include "lcp/base/clock.h"
 #include "lcp/base/result.h"
 #include "lcp/plan/plan.h"
@@ -67,6 +68,11 @@ struct ExecutionOptions {
   RetryPolicy retry;
   /// Clock for deadlines and backoff waits; null = process SystemClock.
   Clock* clock = nullptr;
+  /// Cooperative cancellation: polled before every source attempt. A tripped
+  /// token aborts the plan with the token's status code (never degraded,
+  /// even in best-effort mode — cancellation means the caller no longer
+  /// wants the answer). Not owned; null = never cancelled.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Outcome of running a plan against a source.

@@ -1,11 +1,34 @@
 #include "lcp/service/service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "lcp/base/strings.h"
 #include "lcp/service/canonical.h"
 
 namespace lcp {
+
+QueryService::Job::~Job() {
+  if (resolved) return;
+  // Backstop for the lifecycle invariant "every submitted future resolves
+  // exactly once": if some path ever drops a pending job, the caller gets a
+  // definite kInternal response instead of a std::future_error. A moved-from
+  // or already-satisfied promise throws std::future_error here; both mean
+  // there is nothing left to resolve.
+  QueryResponse response;
+  response.status =
+      InternalError("request dropped without a response (service bug)");
+  try {
+    promise.set_value(std::move(response));
+  } catch (const std::future_error&) {
+  }
+}
+
+void QueryService::ResolveJob(Job& job, QueryResponse response) {
+  if (job.resolved) return;
+  job.resolved = true;
+  job.promise.set_value(std::move(response));
+}
 
 QueryService::QueryService(const AccessibleSchema* accessible,
                            const CostFunction* cost,
@@ -33,29 +56,121 @@ QueryService::QueryService(const AccessibleSchema* accessible,
 
 QueryService::~QueryService() { Shutdown(); }
 
-std::future<QueryResponse> QueryService::Submit(QueryRequest request) {
+Status QueryService::ValidateRequest(const QueryRequest& request) const {
+  // Schema::ValidateQuery covers unknown relations and arity mismatches;
+  // ConjunctiveQuery::Validate (called by it) covers empty bodies and
+  // unsafe/repeated head variables. All of it is a client error at this
+  // boundary, so the edge reports one canonical code.
+  Status status = accessible_->base().ValidateQuery(request.query);
+  if (!status.ok()) {
+    return InvalidArgumentError(StrCat("invalid query ", request.query.name,
+                                       ": ", status.message()));
+  }
+  return Status::Ok();
+}
+
+SubmitHandle QueryService::Submit(QueryRequest request) {
   Job job;
   job.request = std::move(request);
   job.enqueue_micros = clock_->NowMicros();
-  std::future<QueryResponse> future = job.promise.get_future();
+  job.cancel = std::make_shared<CancelToken>();
+  SubmitHandle handle;
+  handle.future = job.promise.get_future();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  Status valid = ValidateRequest(job.request);
+  if (!valid.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse response;
+    response.status = std::move(valid);
+    ResolveJob(job, std::move(response));
+    return handle;
+  }
+  if (job.request.deadline_micros >= 0) {
+    job.deadline_at = job.enqueue_micros + job.request.deadline_micros;
+  }
+
+  Job dropped;
+  bool have_dropped = false;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (shutting_down_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
       QueryResponse response;
       response.status =
           FailedPreconditionError("QueryService is shutting down");
-      job.promise.set_value(std::move(response));
-      return future;
+      ResolveJob(job, std::move(response));
+      return handle;
     }
+    if (options_.max_queue_depth > 0 &&
+        queue_.size() >= options_.max_queue_depth) {
+      if (options_.shed_policy == ShedPolicy::kRejectNew) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        QueryResponse response;
+        response.status = ResourceExhaustedError(
+            StrCat("queue full (max_queue_depth=", options_.max_queue_depth,
+                   "); request rejected"));
+        ResolveJob(job, std::move(response));
+        return handle;
+      }
+      dropped = std::move(queue_.front());
+      queue_.pop_front();
+      have_dropped = true;
+    }
+    job.ticket = next_ticket_++;
+    handle.ticket = job.ticket;
     queue_.push_back(std::move(job));
+    const uint64_t depth = queue_.size();
+    if (depth > queue_depth_high_water_.load(std::memory_order_relaxed)) {
+      queue_depth_high_water_.store(depth, std::memory_order_relaxed);
+    }
   }
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (have_dropped) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse response;
+    response.status = ResourceExhaustedError(
+        "shed by drop-oldest admission (queue full)");
+    response.queue_micros = clock_->NowMicros() - dropped.enqueue_micros;
+    ResolveJob(dropped, std::move(response));
+  }
   queue_cv_.notify_one();
-  return future;
+  return handle;
 }
 
 QueryResponse QueryService::Call(QueryRequest request) {
-  return Submit(std::move(request)).get();
+  return Submit(std::move(request)).future.get();
+}
+
+bool QueryService::Cancel(uint64_t ticket) {
+  if (ticket == 0) return false;
+  Job victim;
+  bool queued = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->ticket == ticket) {
+        victim = std::move(*it);
+        queue_.erase(it);
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      auto it = inflight_.find(ticket);
+      if (it == inflight_.end()) return false;
+      // In flight: trip the token; the worker winds down at its next budget
+      // or access poll and resolves the future itself (counted as a
+      // completed-with-kCancelled request, not as `cancelled`).
+      it->second->Cancel(StatusCode::kCancelled);
+      return true;
+    }
+  }
+  cancelled_.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  response.status = CancelledError("request cancelled while queued");
+  response.queue_micros = clock_->NowMicros() - victim.enqueue_micros;
+  ResolveJob(victim, std::move(response));
+  return true;
 }
 
 uint64_t QueryService::RefreshSchema() {
@@ -85,10 +200,15 @@ ServiceStats QueryService::SnapshotStats() const {
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.searches = searches_.load(std::memory_order_relaxed);
   s.executions = executions_.load(std::memory_order_relaxed);
   s.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
+  s.queue_depth_high_water =
+      queue_depth_high_water_.load(std::memory_order_relaxed);
   s.queue_micros = queue_micros_.load(std::memory_order_relaxed);
   s.plan_micros = plan_micros_.load(std::memory_order_relaxed);
   s.exec_micros = exec_micros_.load(std::memory_order_relaxed);
@@ -96,13 +216,42 @@ ServiceStats QueryService::SnapshotStats() const {
   return s;
 }
 
-void QueryService::Shutdown() {
+size_t QueryService::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+void QueryService::Shutdown(ShutdownMode mode) {
+  std::vector<Job> aborted;
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
-    if (shutting_down_ && workers_.empty()) return;
     shutting_down_ = true;
+    if (mode == ShutdownMode::kAbort) {
+      while (!queue_.empty()) {
+        aborted.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // In-flight requests wind down cooperatively: their budgets and the
+      // executor's access loop poll the token, so no new source access
+      // starts after this point — that is what bounds the join below.
+      for (auto& entry : inflight_) {
+        entry.second->Cancel(StatusCode::kUnavailable);
+      }
+    }
+  }
+  for (Job& job : aborted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    QueryResponse response;
+    response.status =
+        UnavailableError("service shut down before the request was served");
+    response.queue_micros = clock_->NowMicros() - job.enqueue_micros;
+    ResolveJob(job, std::move(response));
   }
   queue_cv_.notify_all();
+  // Exactly one caller joins the workers; concurrent callers block here
+  // until the join completes (a second joiner racing the first on the same
+  // std::thread objects is undefined behavior).
+  std::lock_guard<std::mutex> join_lock(join_mutex_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -120,64 +269,111 @@ void QueryService::WorkerLoop() {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock,
                      [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // Shutting down and drained.
+      if (queue_.empty()) return;  // Shutting down and drained (or aborted).
       job = std::move(queue_.front());
       queue_.pop_front();
+      // Registered under the same lock as the dequeue, so Cancel and abort
+      // shutdown always find a live request either queued or in flight —
+      // never in between.
+      inflight_[job.ticket] = job.cancel;
     }
-    job.promise.set_value(
-        Serve(job.request, source.get(), job.enqueue_micros));
+    const int64_t now = clock_->NowMicros();
+    if (job.deadline_at >= 0 && now >= job.deadline_at) {
+      // Expired while queued: shed without planning. The `searches` counter
+      // must not move for these — queue wait is never free, and overload
+      // must not buy proof searches nobody is waiting for.
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      QueryResponse response;
+      response.status = DeadlineExceededError(
+          StrCat("deadline expired after ", now - job.enqueue_micros,
+                 "us in queue; shed without planning"));
+      response.epoch = epoch_.load(std::memory_order_acquire);
+      response.queue_micros = now - job.enqueue_micros;
+      ResolveJob(job, std::move(response));
+    } else {
+      ResolveJob(job, Serve(job, source.get()));
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      inflight_.erase(job.ticket);
+    }
   }
 }
 
-QueryResponse QueryService::Serve(const QueryRequest& request,
-                                  AccessSource* source,
-                                  int64_t enqueue_micros) {
+QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
+  const QueryRequest& request = job.request;
   QueryResponse response;
   const int64_t start = clock_->NowMicros();
-  response.queue_micros = start - enqueue_micros;
+  response.queue_micros = start - job.enqueue_micros;
   const uint64_t epoch = epoch_.load(std::memory_order_acquire);
   response.epoch = epoch;
 
-  QueryFingerprint fingerprint = CanonicalizeQuery(request.query);
-  const bool lookup_cache = options_.cache_enabled && !request.skip_cache;
+  // A cancellation (or abort shutdown) that raced the dequeue: resolve
+  // without planning.
+  if (job.cancel != nullptr && job.cancel->cancelled()) {
+    response.status =
+        Status(job.cancel->code(), "request abandoned before planning began");
+  }
+
   std::shared_ptr<const CachedPlan> plan;
-  if (lookup_cache) plan = cache_.Lookup(fingerprint, epoch);
-  if (plan != nullptr) {
-    response.cache_hit = true;
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    searches_.fetch_add(1, std::memory_order_relaxed);
-    SearchOptions search_options = options_.search;
-    Budget budget;
-    const int64_t budget_micros = request.planning_budget_micros >= 0
-                                      ? request.planning_budget_micros
-                                      : options_.planning_budget_micros;
-    if (budget_micros >= 0) {
-      budget.SetDeadline(clock_, budget_micros);
-      search_options.budget = &budget;
-    }
-    Result<SearchOutcome> outcome = search_.Run(request.query, search_options);
-    if (!outcome.ok()) {
-      response.status = outcome.status();
-    } else if (!outcome->best.has_value()) {
-      // Distinguish "provably no plan" from "budget ran out first".
-      response.status = outcome->exhaustion.ok()
-                            ? NotFoundError(StrCat(
-                                  "no plan with at most ",
-                                  search_options.max_access_commands,
-                                  " access commands answers ",
-                                  request.query.name))
-                            : outcome->exhaustion;
-    } else if (options_.cache_enabled) {
-      // Offered even for skip_cache requests: a freshly planned result can
-      // still serve future hits. Cost-aware admission keeps the cheapest.
-      plan = cache_.Insert(fingerprint, epoch,
-                           std::move(outcome->best->plan),
-                           outcome->best->cost);
+  if (response.status.ok()) {
+    QueryFingerprint fingerprint = CanonicalizeQuery(request.query);
+    const bool lookup_cache = options_.cache_enabled && !request.skip_cache;
+    if (lookup_cache) plan = cache_.Lookup(fingerprint, epoch);
+    if (plan != nullptr) {
+      response.cache_hit = true;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      plan = std::make_shared<const CachedPlan>(
-          CachedPlan{std::move(fingerprint), epoch,
-                     std::move(outcome->best->plan), outcome->best->cost});
+      searches_.fetch_add(1, std::memory_order_relaxed);
+      SearchOptions search_options = options_.search;
+      Budget budget;
+      budget.set_cancel_token(job.cancel.get());
+      // The planning budget is the smaller of the configured per-request
+      // budget and the time remaining under the end-to-end deadline: queue
+      // wait has already been charged against the request.
+      int64_t budget_micros = request.planning_budget_micros >= 0
+                                  ? request.planning_budget_micros
+                                  : options_.planning_budget_micros;
+      if (job.deadline_at >= 0) {
+        const int64_t remaining =
+            std::max<int64_t>(job.deadline_at - start, 0);
+        budget_micros = budget_micros < 0
+                            ? remaining
+                            : std::min(budget_micros, remaining);
+      }
+      if (budget_micros >= 0) budget.SetDeadline(clock_, budget_micros);
+      response.planning_budget_micros = budget_micros;
+      search_options.budget = &budget;
+      Result<SearchOutcome> outcome =
+          search_.Run(request.query, search_options);
+      if (job.cancel != nullptr && job.cancel->cancelled()) {
+        // Cancelled mid-planning: discard any best-so-far plan — the caller
+        // no longer wants it, and a truncated search must not poison the
+        // cache.
+        response.status =
+            Status(job.cancel->code(), "request cancelled during planning");
+      } else if (!outcome.ok()) {
+        response.status = outcome.status();
+      } else if (!outcome->best.has_value()) {
+        // Distinguish "provably no plan" from "budget ran out first".
+        response.status = outcome->exhaustion.ok()
+                              ? NotFoundError(StrCat(
+                                    "no plan with at most ",
+                                    search_options.max_access_commands,
+                                    " access commands answers ",
+                                    request.query.name))
+                              : outcome->exhaustion;
+      } else if (options_.cache_enabled) {
+        // Offered even for skip_cache requests: a freshly planned result can
+        // still serve future hits. Cost-aware admission keeps the cheapest.
+        plan = cache_.Insert(fingerprint, epoch,
+                             std::move(outcome->best->plan),
+                             outcome->best->cost);
+      } else {
+        plan = std::make_shared<const CachedPlan>(
+            CachedPlan{std::move(fingerprint), epoch,
+                       std::move(outcome->best->plan), outcome->best->cost});
+      }
     }
   }
   const int64_t planned = clock_->NowMicros();
@@ -192,9 +388,25 @@ QueryResponse QueryService::Serve(const QueryRequest& request,
       } else {
         ExecutionOptions exec_options = options_.execution;
         if (exec_options.clock == nullptr) exec_options.clock = clock_;
+        exec_options.cancel = job.cancel.get();
+        if (job.deadline_at >= 0) {
+          // Execution gets only what the end-to-end deadline has left.
+          const int64_t remaining =
+              std::max<int64_t>(job.deadline_at - planned, 0);
+          int64_t& plan_deadline = exec_options.retry.plan_deadline_micros;
+          plan_deadline = plan_deadline < 0
+                              ? remaining
+                              : std::min(plan_deadline, remaining);
+        }
         Result<ExecutionResult> run =
             ExecutePlan(plan->plan, *source, exec_options);
-        if (!run.ok()) {
+        if (job.cancel != nullptr && job.cancel->cancelled()) {
+          // Cancelled mid-execution: even if the plan happened to finish,
+          // the caller no longer wants the answer — report the token's
+          // status so cancellation is observable deterministically.
+          response.status =
+              Status(job.cancel->code(), "request cancelled during execution");
+        } else if (!run.ok()) {
           response.status = run.status();
         } else {
           response.execution = std::move(run).value();

@@ -10,9 +10,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "lcp/accessible/accessible_schema.h"
+#include "lcp/base/budget.h"
 #include "lcp/base/clock.h"
 #include "lcp/base/result.h"
 #include "lcp/logic/conjunctive_query.h"
@@ -22,6 +24,30 @@
 #include "lcp/service/plan_cache.h"
 
 namespace lcp {
+
+/// What Submit does when the queue is at max_queue_depth.
+enum class ShedPolicy {
+  /// Fast-fail the *new* request with kResourceExhausted, without queueing.
+  /// The default: admission latency stays microseconds under overload.
+  kRejectNew,
+  /// Admit the new request and evict the *oldest* queued one, resolving its
+  /// future with kResourceExhausted. Prefers fresh work when stale queued
+  /// requests have likely outlived their callers.
+  kDropOldest,
+};
+
+/// How Shutdown treats work that has not completed yet.
+enum class ShutdownMode {
+  /// Stop admitting, serve everything already queued, then join. The
+  /// default, and the destructor's behavior.
+  kDrain,
+  /// Stop admitting, fail every queued request with kUnavailable, trip the
+  /// cancel token of every in-flight request (planning and execution wind
+  /// down at their next budget/access poll), then join. The join is bounded
+  /// by cooperative cancellation: no new source access starts once the
+  /// token is tripped.
+  kAbort,
+};
 
 /// Construction-time knobs of a QueryService.
 struct ServiceOptions {
@@ -38,8 +64,16 @@ struct ServiceOptions {
   ExecutionOptions execution;
   /// Per-request planning budget on `clock`; -1 = unlimited. A request that
   /// exhausts it still returns the best plan found so far (anytime), or
-  /// kDeadlineExceeded if none was found.
+  /// kDeadlineExceeded if none was found. An end-to-end request deadline
+  /// (QueryRequest::deadline_micros) tightens this further: the effective
+  /// planning budget is the smaller of this and the time remaining at
+  /// dequeue.
   int64_t planning_budget_micros = -1;
+  /// Admission control: maximum number of *queued* (not yet dequeued)
+  /// requests; 0 = unbounded (the historic default). When the bound is hit,
+  /// `shed_policy` decides who pays.
+  size_t max_queue_depth = 0;
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
   /// Clock for latency accounting, budgets, and execution backoff;
   /// null = process SystemClock.
   Clock* clock = nullptr;
@@ -52,6 +86,13 @@ struct QueryRequest {
   bool execute = true;
   /// Overrides ServiceOptions::planning_budget_micros when >= 0.
   int64_t planning_budget_micros = -1;
+  /// End-to-end deadline for the whole request, as a budget in clock micros
+  /// measured from Submit; -1 = none. Queue wait is *not* free: a request
+  /// whose deadline expires while queued is shed as kDeadlineExceeded
+  /// without running proof search, and one dequeued with little time left
+  /// gets only the remaining time as its planning budget and execution plan
+  /// deadline.
+  int64_t deadline_micros = -1;
   /// Bypass the plan cache for this request (always re-plan; the result is
   /// still offered to the cache).
   bool skip_cache = false;
@@ -61,8 +102,10 @@ struct QueryRequest {
 struct QueryResponse {
   /// OK when a plan was found (and, if requested, executed). kNotFound when
   /// no plan exists within the access budget; kDeadlineExceeded when the
-  /// planning budget expired before any plan was found; execution errors
-  /// propagate as-is.
+  /// planning budget or end-to-end deadline expired first; kCancelled when
+  /// the request was cancelled; kResourceExhausted when admission control
+  /// shed it; kInvalidArgument when the query failed boundary validation;
+  /// execution errors propagate as-is.
   Status status;
   /// The plan that was served (null if status is not OK). Shared with the
   /// cache: immutable, safe to hold indefinitely.
@@ -77,19 +120,35 @@ struct QueryResponse {
   int64_t queue_micros = 0;
   int64_t plan_micros = 0;
   int64_t exec_micros = 0;
+  /// The planning budget actually granted when a proof search ran
+  /// (micros; -1 = unlimited). With an end-to-end deadline this is at most
+  /// the time remaining after queue wait — observable proof that queue wait
+  /// was charged against the request.
+  int64_t planning_budget_micros = -1;
 };
 
 /// Lock-free snapshot of service-level counters (cumulative; relaxed reads,
 /// monotone but not cross-counter consistent). Cache-level counters live in
 /// PlanCacheStats.
+///
+/// Lifecycle conservation: every submitted request resolves in exactly one
+/// of four ways, so after quiescence
+///   submitted == completed + rejected + shed + cancelled.
 struct ServiceStats {
   uint64_t submitted = 0;
-  uint64_t completed = 0;
+  uint64_t completed = 0;      ///< Served by a worker (OK or failed).
   uint64_t failed = 0;         ///< Completed with a non-OK status.
+  uint64_t rejected = 0;       ///< Fast-failed at the Submit edge (validation,
+                               ///< full queue under kRejectNew, shutdown).
+  uint64_t shed = 0;           ///< Evicted after queueing (drop-oldest,
+                               ///< deadline expired in queue, abort shutdown).
+  uint64_t cancelled = 0;      ///< Cancelled while queued (in-flight cancels
+                               ///< complete with kCancelled instead).
   uint64_t cache_hits = 0;
   uint64_t searches = 0;       ///< Proof searches actually run.
   uint64_t executions = 0;
   uint64_t epoch_bumps = 0;
+  uint64_t queue_depth_high_water = 0;  ///< Deepest queue ever observed.
   /// Totals for deriving means; on the service clock.
   int64_t queue_micros = 0;
   int64_t plan_micros = 0;
@@ -100,6 +159,15 @@ struct ServiceStats {
     uint64_t lookups = cache.hits + cache.misses;
     return lookups == 0 ? 0.0 : static_cast<double>(cache.hits) / lookups;
   }
+};
+
+/// What Submit hands back: the future plus a ticket for Cancel. Tickets are
+/// unique for the lifetime of the service and never reused; ticket 0 means
+/// the request was rejected at the edge and never entered the queue (its
+/// future is already resolved).
+struct SubmitHandle {
+  uint64_t ticket = 0;
+  std::future<QueryResponse> future;
 };
 
 /// A concurrent query-answering service: a fixed worker pool that serves
@@ -114,6 +182,13 @@ struct ServiceStats {
 /// AccessSource built by the factory (sources are stateful and not
 /// thread-safe), while the AccessibleSchema, CostFunction, and ProofSearch
 /// are shared read-only (ProofSearch::Run is const and re-entrant).
+///
+/// Request lifecycle (see DESIGN.md §7): a request is *rejected* at the
+/// Submit edge (malformed query, full queue under kRejectNew, shutdown),
+/// *shed* after queueing (drop-oldest eviction, deadline expired in queue,
+/// abort shutdown), *cancelled* while queued, or *completed* by a worker —
+/// and its future resolves exactly once with a definite Status in every
+/// case, including destruction mid-flight.
 ///
 /// Schema epochs: the service fingerprints the base schema at construction.
 /// After mutating the schema or its constraints (which callers must do only
@@ -136,12 +211,24 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Enqueues a request; the future resolves when a worker has served it.
-  /// After Shutdown, resolves immediately with kFailedPrecondition.
-  std::future<QueryResponse> Submit(QueryRequest request);
+  /// Validates and enqueues a request; the future resolves when a worker has
+  /// served it (or admission control / Cancel / Shutdown resolved it
+  /// earlier). Malformed queries (unknown relations, arity mismatches,
+  /// unsafe head variables) fast-fail with kInvalidArgument; a full queue
+  /// fast-fails with kResourceExhausted under kRejectNew; after Shutdown,
+  /// resolves immediately with kFailedPrecondition.
+  SubmitHandle Submit(QueryRequest request);
 
   /// Convenience: Submit + wait.
   QueryResponse Call(QueryRequest request);
+
+  /// Cancels the request behind `ticket`. A still-queued request resolves
+  /// immediately with kCancelled (and never reaches a worker); an in-flight
+  /// request has its budget's cancel token tripped, so planning and
+  /// execution wind down at their next poll point and the future resolves
+  /// with kCancelled shortly after. Returns true if the ticket was live
+  /// (queued or in flight), false if it is unknown or already resolved.
+  bool Cancel(uint64_t ticket);
 
   /// Re-fingerprints the base schema; if it changed, advances the epoch and
   /// evicts all stale plans. Returns the current epoch. Safe to call
@@ -161,21 +248,48 @@ class QueryService {
   /// Lock-free stats snapshot (service counters + cache counters).
   ServiceStats SnapshotStats() const;
 
+  /// Current number of queued (not yet dequeued) requests. Takes the queue
+  /// lock; intended for ops probes and tests, not hot paths.
+  size_t QueueDepth() const;
+
   const PlanCache& cache() const { return cache_; }
 
-  /// Stops accepting requests, drains the queue, joins workers. Idempotent.
-  void Shutdown();
+  /// Stops accepting requests and joins the workers. kDrain (default)
+  /// serves everything already queued first; kAbort fails queued requests
+  /// with kUnavailable and cancels in-flight ones. Idempotent and safe to
+  /// call from several threads concurrently: exactly one caller joins, the
+  /// others block until the join completes.
+  void Shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
  private:
   struct Job {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    std::shared_ptr<CancelToken> cancel;
+    uint64_t ticket = 0;
     int64_t enqueue_micros = 0;
+    /// Absolute end-to-end deadline on the service clock; -1 = none.
+    int64_t deadline_at = -1;
+    /// Guards against double resolution; ~Job resolves a still-pending
+    /// promise with kInternal as a last-resort backstop, so no early-return
+    /// path can ever leave a caller blocked on a broken promise.
+    bool resolved = false;
+
+    Job() = default;
+    Job(Job&&) = default;
+    Job& operator=(Job&&) = default;
+    ~Job();
   };
 
+  /// Resolves `job`'s promise exactly once (later calls are no-ops).
+  static void ResolveJob(Job& job, QueryResponse response);
+
+  /// Boundary validation: a malformed query is a client error reported as
+  /// kInvalidArgument at the edge, never an LCP_CHECK crash in the planner.
+  Status ValidateRequest(const QueryRequest& request) const;
+
   void WorkerLoop();
-  QueryResponse Serve(const QueryRequest& request, AccessSource* source,
-                      int64_t enqueue_micros);
+  QueryResponse Serve(const Job& job, AccessSource* source);
 
   const AccessibleSchema* accessible_;
   const CostFunction* cost_;
@@ -190,19 +304,31 @@ class QueryService {
   /// Serializes RefreshSchema/BumpEpoch (epoch reads stay lock-free).
   std::mutex epoch_mutex_;
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Job> queue_;
+  /// Cancel tokens of dequeued-but-unfinished requests, by ticket; guarded
+  /// by queue_mutex_. Cancel and abort shutdown trip tokens through here.
+  std::unordered_map<uint64_t, std::shared_ptr<CancelToken>> inflight_;
+  uint64_t next_ticket_ = 1;
   bool shutting_down_ = false;
+  /// Serializes the join in Shutdown: exactly one caller joins the workers;
+  /// concurrent callers block here until it is done (fixes the historic
+  /// double-join race).
+  std::mutex join_mutex_;
   std::vector<std::thread> workers_;
 
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> searches_{0};
   std::atomic<uint64_t> executions_{0};
   std::atomic<uint64_t> epoch_bumps_{0};
+  std::atomic<uint64_t> queue_depth_high_water_{0};
   std::atomic<int64_t> queue_micros_{0};
   std::atomic<int64_t> plan_micros_{0};
   std::atomic<int64_t> exec_micros_{0};

@@ -34,6 +34,7 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(CancelledError("x").code(), StatusCode::kCancelled);
 }
 
 TEST(StatusTest, ResilienceCodesHaveStableNames) {
@@ -44,6 +45,9 @@ TEST(StatusTest, ResilienceCodesHaveStableNames) {
             "DEADLINE_EXCEEDED: chase budget");
   EXPECT_EQ(UnavailableError("breaker open").ToString(),
             "UNAVAILABLE: breaker open");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_EQ(CancelledError("caller went away").ToString(),
+            "CANCELLED: caller went away");
 }
 
 TEST(StatusTest, Equality) {

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <thread>
 
 #include "lcp/base/clock.h"
 #include "lcp/chase/engine.h"
@@ -29,6 +30,21 @@ TEST(VirtualClockTest, AdvanceSleepAndAutoAdvance) {
   clock.set_auto_advance(10);
   EXPECT_EQ(clock.NowMicros(), 175);  // reads the value, then advances
   EXPECT_EQ(clock.NowMicros(), 185);
+}
+
+TEST(SharedVirtualClockTest, ThreadSafeAdvanceAndSleep) {
+  SharedVirtualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.Advance(50);
+  clock.SleepMicros(25);  // a sleep just advances virtual time
+  EXPECT_EQ(clock.NowMicros(), 175);
+  clock.SleepMicros(-5);  // non-positive waits are no-ops
+  clock.Advance(-5);
+  EXPECT_EQ(clock.NowMicros(), 175);
+  // Advances from other threads are visible (the multi-worker chaos shape).
+  std::thread advancer([&clock] { clock.Advance(25); });
+  advancer.join();
+  EXPECT_EQ(clock.NowMicros(), 200);
 }
 
 TEST(SystemClockTest, MonotoneAndSingleton) {
@@ -112,6 +128,43 @@ TEST(BudgetTest, CancelLatchesCallerStatus) {
   // First latch wins: a later cancel does not overwrite it.
   budget.Cancel(DeadlineExceededError("too late"));
   EXPECT_EQ(budget.Check().code(), StatusCode::kUnavailable);
+}
+
+TEST(CancelTokenTest, FirstCancelWinsAndLatches) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();  // defaults to kCancelled
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.code(), StatusCode::kCancelled);
+  token.Cancel(StatusCode::kUnavailable);  // too late: first trip sticks
+  EXPECT_EQ(token.code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, TrippedTokenExhaustsTheBudget) {
+  CancelToken token;
+  Budget budget;
+  budget.set_cancel_token(&token);
+  EXPECT_TRUE(budget.Check().ok()) << "untripped token never fires";
+
+  token.Cancel(StatusCode::kUnavailable);
+  EXPECT_EQ(budget.Check().code(), StatusCode::kUnavailable)
+      << "the budget reports the token's code";
+  EXPECT_TRUE(budget.exhausted());
+  EXPECT_TRUE(budget.stats().cancelled);
+}
+
+TEST(CancelTokenTest, CrossThreadCancelStopsAPolledBudget) {
+  // The service's in-flight cancellation shape: one thread polls the budget
+  // (as proof search and the chase do), another trips the shared token.
+  CancelToken token;
+  Budget budget;
+  budget.set_cancel_token(&token);
+  std::thread canceller([&token] { token.Cancel(); });
+  Status last = Status::Ok();
+  while (last.ok()) last = budget.Check();
+  canceller.join();
+  EXPECT_EQ(last.code(), StatusCode::kCancelled);
+  EXPECT_EQ(budget.Check().code(), StatusCode::kCancelled) << "latched";
 }
 
 TEST(ChaseBudgetTest, ExpiredDeadlineStopsTheChase) {

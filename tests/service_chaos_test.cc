@@ -1,0 +1,274 @@
+// Deterministic chaos harness for the QueryService request lifecycle.
+//
+// Each iteration derives a full scenario from one seed: pool size, admission
+// bounds and shed policy, fault profile (transient failures, simulated
+// latency, truncation, permanent outages), workload mix (queries, deadlines,
+// plan-only and skip-cache requests), and a driver schedule of overload
+// bursts, random cancellations, epoch bumps, and virtual-clock advances,
+// finished by a randomly chosen drain or abort shutdown. Simulated time runs
+// on a SharedVirtualClock, so fault latency and backoff waits are instant in
+// real time but visible to deadlines.
+//
+// The invariants checked are scheduling-independent:
+//   * every submitted future resolves exactly once with a definite status
+//     (in particular, never the kInternal dropped-promise backstop);
+//   * submitted == completed + rejected + shed + cancelled;
+//   * Shutdown() returning implies nothing is left unresolved (no deadlock,
+//     no worker still holding a job).
+//
+// LCP_CHAOS_ITERS scales the number of seeds (default 25; CI's nightly
+// sanitizer jobs run 200). LCP_CHAOS_SEED offsets the seed base so distinct
+// nightly runs explore distinct schedules.
+
+#include "lcp/service/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lcp/accessible/accessible_schema.h"
+#include "lcp/data/generator.h"
+#include "lcp/runtime/faults.h"
+#include "lcp/runtime/source.h"
+#include "lcp/schema/parser.h"
+#include "lcp/workload/scenarios.h"
+
+namespace lcp {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// Owns a SimulatedSource plus the fault wrapper around it, so a worker's
+/// source can be handed out as one object from the factory.
+class ChaosSource : public AccessSource {
+ public:
+  ChaosSource(const Schema* schema, const Instance* instance,
+              FaultProfile profile, uint64_t seed, Clock* clock)
+      : base_(schema, instance),
+        faulty_(&base_, std::move(profile), seed, clock) {}
+
+  Result<AccessOutcome> TryAccess(AccessMethodId method,
+                                  const Tuple& inputs) override {
+    return faulty_.TryAccess(method, inputs);
+  }
+  const Schema& schema() const override { return faulty_.schema(); }
+
+ private:
+  SimulatedSource base_;
+  FaultInjectingSource faulty_;
+};
+
+/// Shared read-only world: schema, accessible schema, cost function,
+/// instance, and the query mix. Built once; every iteration's service reads
+/// from it concurrently but never mutates it.
+struct ChaosWorld {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<AccessibleSchema> accessible;
+  std::unique_ptr<SimpleCostFunction> cost;
+  std::unique_ptr<Instance> instance;
+  std::vector<ConjunctiveQuery> queries;
+};
+
+ChaosWorld MakeWorld() {
+  auto scenario = MakeProfinfoScenario(false);
+  EXPECT_TRUE(scenario.ok()) << scenario.status();
+  ChaosWorld world;
+  world.schema = std::move(scenario->schema);
+  world.queries.push_back(std::move(scenario->query));
+  auto accessible =
+      AccessibleSchema::Build(*world.schema, AccessibleVariant::kStandard);
+  EXPECT_TRUE(accessible.ok()) << accessible.status();
+  world.accessible =
+      std::make_unique<AccessibleSchema>(std::move(accessible).value());
+  world.cost = std::make_unique<SimpleCostFunction>(world.schema.get());
+  GeneratorOptions gen;
+  gen.seed = 7;
+  gen.facts_per_relation = 12;
+  gen.domain_size = 15;
+  auto instance = GenerateInstance(*world.schema, gen);
+  EXPECT_TRUE(instance.ok()) << instance.status();
+  world.instance = std::make_unique<Instance>(std::move(instance).value());
+  for (const char* text :
+       {"Q(p) :- Profinfo(p, r, \"smith\")", "Q(e, l) :- Udirect(e, l)",
+        "Q(l) :- Udirect(e, l)", "Q() :- Profinfo(eid, onum, lname)"}) {
+    auto query = ParseQuery(*world.schema, text);
+    EXPECT_TRUE(query.ok()) << text << ": " << query.status();
+    if (query.ok()) world.queries.push_back(std::move(query).value());
+  }
+  return world;
+}
+
+/// One seeded scenario end to end. Returns the number of requests submitted,
+/// so the caller can report coverage.
+size_t RunScenario(const ChaosWorld& world, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&rng](int bound) {
+    return static_cast<int>(rng() % static_cast<uint64_t>(bound));
+  };
+  auto unit = [&rng] {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  };
+
+  SharedVirtualClock clock;
+
+  // --- scenario shape, all derived from the seed --------------------------
+  FaultProfile profile;
+  profile.defaults.transient_failure_rate = 0.2 * pick(3);  // 0, .2, .4
+  if (pick(2) == 0) {
+    profile.defaults.latency_base_micros = 50 + pick(200);
+    profile.defaults.latency_jitter_micros = pick(100);
+  }
+  profile.defaults.truncation_rate = pick(4) == 0 ? 0.15 : 0.0;
+  if (pick(4) == 0) {
+    // A hard outage of one method: plans touching it keep failing after
+    // retries; circuit breakers (when enabled below) short-circuit it.
+    profile.permanent_outages.insert(static_cast<AccessMethodId>(
+        pick(static_cast<int>(world.schema->num_access_methods()))));
+  }
+
+  ServiceOptions options;
+  options.num_workers = 1 + pick(4);
+  options.max_queue_depth = static_cast<size_t>(
+      pick(3) == 0 ? 0 : 2 + pick(7));  // unbounded / 2..8
+  options.shed_policy =
+      pick(2) == 0 ? ShedPolicy::kRejectNew : ShedPolicy::kDropOldest;
+  options.cache.num_shards = 1 + pick(4);
+  options.cache_enabled = pick(8) != 0;
+  options.clock = &clock;
+  options.execution.retry.max_attempts = 1 + pick(3);
+  options.execution.retry.breaker_threshold = pick(2) == 0 ? 0 : 3;
+  options.execution.retry.best_effort = pick(2) == 0;
+  options.execution.retry.jitter_fraction = 0.5;
+  options.execution.retry.jitter_seed = rng();
+  if (pick(3) == 0) options.planning_budget_micros = 1000 + pick(50000);
+
+  const Schema* schema = world.schema.get();
+  const Instance* instance = world.instance.get();
+  std::atomic<uint64_t> source_seed{seed * 977u + 1};
+  auto factory = [schema, instance, profile, &source_seed, &clock] {
+    return std::make_unique<ChaosSource>(
+        schema, instance, profile,
+        source_seed.fetch_add(1, std::memory_order_relaxed), &clock);
+  };
+
+  QueryService service(world.accessible.get(), world.cost.get(), factory,
+                       options);
+
+  // --- driver: bursts, cancels, bumps, clock advances ---------------------
+  std::vector<SubmitHandle> handles;
+  const int bursts = 3 + pick(4);
+  for (int burst = 0; burst < bursts; ++burst) {
+    const int size = 1 + pick(12);
+    for (int i = 0; i < size; ++i) {
+      QueryRequest request;
+      request.query = world.queries[static_cast<size_t>(pick(
+          static_cast<int>(world.queries.size())))];
+      request.execute = unit() < 0.7;
+      request.skip_cache = unit() < 0.15;
+      if (unit() < 0.5) request.deadline_micros = 500 + pick(50000);
+      handles.push_back(service.Submit(std::move(request)));
+    }
+    // Interleave chaos between bursts.
+    const int actions = pick(4);
+    for (int a = 0; a < actions; ++a) {
+      switch (pick(4)) {
+        case 0:
+          clock.Advance(pick(20000));
+          break;
+        case 1:
+          if (!handles.empty()) {
+            service.Cancel(
+                handles[static_cast<size_t>(pick(
+                            static_cast<int>(handles.size())))]
+                    .ticket);
+          }
+          break;
+        case 2:
+          service.BumpEpoch();
+          break;
+        default:
+          (void)service.QueueDepth();
+          (void)service.SnapshotStats();
+          break;
+      }
+    }
+    // A sliver of real time so workers make progress between bursts; the
+    // invariants below never depend on how much they got.
+    if (pick(2) == 0) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  const bool abort = pick(3) == 0;
+  service.Shutdown(abort ? ShutdownMode::kAbort : ShutdownMode::kDrain);
+
+  // A post-shutdown submit must fast-fail and still be accounted for.
+  QueryRequest late;
+  late.query = world.queries[0];
+  late.execute = false;
+  handles.push_back(service.Submit(std::move(late)));
+
+  // --- invariants ---------------------------------------------------------
+  for (SubmitHandle& handle : handles) {
+    if (handle.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ADD_FAILURE() << "seed " << seed
+                    << ": a future is unresolved after Shutdown";
+      continue;  // .get() would block forever; skip it
+    }
+    const QueryResponse response = handle.future.get();
+    const StatusCode code = response.status.code();
+    EXPECT_NE(code, StatusCode::kInternal)
+        << "seed " << seed
+        << ": dropped-promise backstop fired: " << response.status;
+    const bool definite =
+        code == StatusCode::kOk || code == StatusCode::kNotFound ||
+        code == StatusCode::kDeadlineExceeded ||
+        code == StatusCode::kCancelled ||
+        code == StatusCode::kResourceExhausted ||
+        code == StatusCode::kUnavailable ||
+        code == StatusCode::kFailedPrecondition;
+    EXPECT_TRUE(definite) << "seed " << seed << ": unexpected terminal status "
+                          << response.status;
+  }
+
+  const ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, handles.size()) << "seed " << seed;
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.rejected + stats.shed + stats.cancelled)
+      << "seed " << seed << ": lifecycle conservation violated";
+  if (options.max_queue_depth > 0) {
+    EXPECT_LE(stats.queue_depth_high_water, options.max_queue_depth)
+        << "seed " << seed << ": admission bound was not enforced";
+  }
+  return handles.size();
+}
+
+TEST(ServiceChaosTest, SeededLifecycleScenariosHoldInvariants) {
+  const ChaosWorld world = MakeWorld();
+  const int iters = EnvInt("LCP_CHAOS_ITERS", 25);
+  const uint64_t base = static_cast<uint64_t>(EnvInt("LCP_CHAOS_SEED", 1));
+  size_t total = 0;
+  for (int i = 0; i < iters; ++i) {
+    total += RunScenario(world, base + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  // Sanity: the harness exercised a non-trivial number of requests.
+  EXPECT_GT(total, static_cast<size_t>(iters));
+}
+
+}  // namespace
+}  // namespace lcp

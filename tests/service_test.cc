@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdlib>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -253,13 +257,408 @@ TEST(ServiceTest, ShutdownDrainsQueuedRequests) {
   for (int i = 0; i < 16; ++i) {
     QueryRequest request;
     request.query = fx.query;
-    futures.push_back(service.Submit(std::move(request)));
+    futures.push_back(service.Submit(std::move(request)).future);
   }
   service.Shutdown();
   for (auto& future : futures) {
     QueryResponse response = future.get();
     EXPECT_TRUE(response.status.ok()) << response.status;
   }
+}
+
+// --- request lifecycle: admission, deadlines, cancellation, shutdown -------
+
+/// A manual gate: workers block in Pass() until Open(). Used to hold the
+/// (single) worker inside an execution while a test arranges queue states,
+/// advances a virtual clock, or cancels requests.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> arrivals{0};
+
+  void Pass() {
+    arrivals.fetch_add(1, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  /// Spins (real time) until some worker has reached the gate.
+  void AwaitArrival() {
+    while (arrivals.load(std::memory_order_acquire) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+/// A SimulatedSource whose every access first waits at the gate.
+class GatedSource : public AccessSource {
+ public:
+  GatedSource(const Schema* schema, const Instance* instance, Gate* gate)
+      : base_(schema, instance), gate_(gate) {}
+  Result<AccessOutcome> TryAccess(AccessMethodId method,
+                                  const Tuple& inputs) override {
+    gate_->Pass();
+    return base_.TryAccess(method, inputs);
+  }
+  const Schema& schema() const override { return base_.schema(); }
+
+ private:
+  SimulatedSource base_;
+  Gate* gate_;
+};
+
+QueryService::SourceFactory GatedFactory(const ServiceFixture& fx,
+                                         Gate* gate) {
+  const Schema* schema = fx.schema.get();
+  const Instance* instance = fx.instance.get();
+  return [schema, instance, gate] {
+    return std::make_unique<GatedSource>(schema, instance, gate);
+  };
+}
+
+/// The lifecycle conservation invariant (see ServiceStats).
+void ExpectConservation(const ServiceStats& s) {
+  EXPECT_EQ(s.submitted, s.completed + s.rejected + s.shed + s.cancelled);
+}
+
+bool Ready(const std::future<QueryResponse>& future) {
+  return future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+TEST(ServiceLifecycleTest, RejectNewFastFailsWhenQueueFull) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;  // default policy: kRejectNew
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;  // execute = true: blocks at the gate
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();  // the worker is stuck mid-execution; queue is empty
+
+  QueryRequest plan_only;
+  plan_only.query = fx.query;
+  plan_only.execute = false;
+  SubmitHandle b = service.Submit(plan_only);
+  SubmitHandle c = service.Submit(plan_only);
+  EXPECT_NE(b.ticket, 0u);
+  EXPECT_NE(c.ticket, 0u);
+  EXPECT_EQ(service.QueueDepth(), 2u);
+
+  SubmitHandle d = service.Submit(plan_only);
+  EXPECT_EQ(d.ticket, 0u) << "rejected at the edge, never queued";
+  ASSERT_TRUE(Ready(d.future)) << "fast-fail must not wait for a worker";
+  EXPECT_EQ(d.future.get().status.code(), StatusCode::kResourceExhausted);
+
+  gate.Open();
+  service.Shutdown();  // drain: B and C still get served
+  EXPECT_TRUE(a.future.get().status.ok());
+  EXPECT_TRUE(b.future.get().status.ok());
+  EXPECT_TRUE(c.future.get().status.ok());
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.queue_depth_high_water, 2u);
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, DropOldestEvictsTheOldestQueuedRequest) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queue_depth = 2;
+  options.shed_policy = ShedPolicy::kDropOldest;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();
+
+  QueryRequest plan_only;
+  plan_only.query = fx.query;
+  plan_only.execute = false;
+  SubmitHandle b = service.Submit(plan_only);
+  SubmitHandle c = service.Submit(plan_only);
+  SubmitHandle d = service.Submit(plan_only);  // evicts B, admits D
+  EXPECT_NE(d.ticket, 0u) << "drop-oldest admits the new request";
+  EXPECT_EQ(service.QueueDepth(), 2u);
+
+  ASSERT_TRUE(Ready(b.future)) << "the evicted request resolves immediately";
+  EXPECT_EQ(b.future.get().status.code(), StatusCode::kResourceExhausted);
+
+  gate.Open();
+  service.Shutdown();
+  EXPECT_TRUE(a.future.get().status.ok());
+  EXPECT_TRUE(c.future.get().status.ok());
+  EXPECT_TRUE(d.future.get().status.ok());
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, DeadlineExpiredInQueueIsShedWithoutPlanning) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  SharedVirtualClock clock;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.clock = &clock;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();
+  ASSERT_EQ(service.SnapshotStats().searches, 1u);
+
+  QueryRequest hurried;
+  hurried.query = fx.query;
+  hurried.execute = false;
+  hurried.skip_cache = true;  // a search would be observable if one ran
+  hurried.deadline_micros = 5'000;
+  SubmitHandle b = service.Submit(hurried);
+
+  clock.Advance(10'000);  // the deadline passes while B is still queued
+  gate.Open();
+  service.Shutdown();
+
+  QueryResponse response = b.future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.queue_micros, 10'000);
+  EXPECT_TRUE(a.future.get().status.ok());
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 1u)
+      << "an expired request must be shed before proof search";
+  EXPECT_EQ(stats.shed, 1u);
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, QueueWaitShrinksThePlanningBudget) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  SharedVirtualClock clock;
+  ServiceOptions options;
+  options.num_workers = 1;
+  options.clock = &clock;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();
+
+  QueryRequest tight;
+  tight.query = fx.query;
+  tight.execute = false;
+  tight.skip_cache = true;  // force a real search so a budget is granted
+  tight.deadline_micros = 50'000;
+  SubmitHandle b = service.Submit(tight);
+
+  clock.Advance(40'000);  // 40ms of queue wait against a 50ms deadline
+  gate.Open();
+  service.Shutdown();
+
+  QueryResponse response = b.future.get();
+  ASSERT_TRUE(response.status.ok()) << response.status;
+  EXPECT_EQ(response.queue_micros, 40'000);
+  EXPECT_EQ(response.planning_budget_micros, 10'000)
+      << "only the time remaining after queue wait may be granted";
+  EXPECT_TRUE(a.future.get().status.ok());
+}
+
+TEST(ServiceLifecycleTest, CancelQueuedRequestResolvesImmediately) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();
+
+  QueryRequest queued;
+  queued.query = fx.query;
+  queued.execute = false;
+  SubmitHandle b = service.Submit(queued);
+  ASSERT_NE(b.ticket, 0u);
+
+  EXPECT_TRUE(service.Cancel(b.ticket));
+  ASSERT_TRUE(Ready(b.future)) << "a queued cancel must not wait for a worker";
+  EXPECT_EQ(b.future.get().status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(service.Cancel(b.ticket)) << "already resolved";
+  EXPECT_FALSE(service.Cancel(0));
+  EXPECT_FALSE(service.Cancel(123456)) << "unknown ticket";
+
+  gate.Open();
+  service.Shutdown();
+  EXPECT_TRUE(a.future.get().status.ok());
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 1u) << "the cancelled request never planned";
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, CancelInFlightRequestAbortsExecution) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();  // A is mid-execution, blocked at the gate
+
+  EXPECT_TRUE(service.Cancel(a.ticket)) << "in flight: trips the token";
+  gate.Open();
+  QueryResponse response = a.future.get();
+  EXPECT_EQ(response.status.code(), StatusCode::kCancelled);
+  EXPECT_FALSE(response.executed);
+  service.Shutdown();
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.completed, 1u)
+      << "an in-flight cancel completes on the worker";
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.cancelled, 0u) << "`cancelled` counts queued cancels only";
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, AbortShutdownFailsQueuedAndCancelsInFlight) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  ServiceOptions options;
+  options.num_workers = 1;
+  QueryService service(fx.accessible.get(), fx.cost.get(),
+                       GatedFactory(fx, &gate), options);
+
+  QueryRequest busy;
+  busy.query = fx.query;
+  SubmitHandle a = service.Submit(busy);
+  gate.AwaitArrival();
+
+  QueryRequest queued;
+  queued.query = fx.query;
+  queued.execute = false;
+  SubmitHandle b = service.Submit(queued);
+  SubmitHandle c = service.Submit(queued);
+
+  std::thread aborter([&] { service.Shutdown(ShutdownMode::kAbort); });
+  // Queued requests are failed before the join, so these resolve even while
+  // the in-flight request is still blocked at the gate.
+  EXPECT_EQ(b.future.get().status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(c.future.get().status.code(), StatusCode::kUnavailable);
+  gate.Open();
+  aborter.join();
+  EXPECT_EQ(a.future.get().status.code(), StatusCode::kUnavailable)
+      << "abort trips the in-flight token with kUnavailable";
+
+  QueryRequest late;
+  late.query = fx.query;
+  late.execute = false;
+  SubmitHandle d = service.Submit(late);
+  EXPECT_EQ(d.ticket, 0u);
+  EXPECT_EQ(d.future.get().status.code(), StatusCode::kFailedPrecondition);
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  ExpectConservation(stats);
+}
+
+TEST(ServiceLifecycleTest, ConcurrentShutdownJoinsExactlyOnce) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  ServiceOptions options;
+  options.num_workers = 2;
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       options);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    QueryRequest request;
+    request.query = fx.query;
+    futures.push_back(service.Submit(std::move(request)).future);
+  }
+  // Two threads race Shutdown: historically this double-joined the worker
+  // threads (undefined behavior). Exactly one may join; the other must block
+  // until the join is done, so either returning implies a quiesced service.
+  std::thread first([&] { service.Shutdown(); });
+  std::thread second([&] { service.Shutdown(); });
+  first.join();
+  second.join();
+  for (auto& future : futures) {
+    ASSERT_TRUE(Ready(future)) << "shutdown returned with work unresolved";
+    EXPECT_TRUE(future.get().status.ok());
+  }
+  ExpectConservation(service.SnapshotStats());
+}
+
+TEST(ServiceLifecycleTest, MalformedQueriesAreRejectedAtTheEdge) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  QueryService service(fx.accessible.get(), fx.cost.get(), fx.Factory(),
+                       ServiceOptions{});
+
+  auto expect_rejected = [&](ConjunctiveQuery query, const char* what) {
+    QueryRequest request;
+    request.query = std::move(query);
+    SubmitHandle handle = service.Submit(std::move(request));
+    EXPECT_EQ(handle.ticket, 0u) << what;
+    ASSERT_TRUE(Ready(handle.future)) << what;
+    EXPECT_EQ(handle.future.get().status.code(), StatusCode::kInvalidArgument)
+        << what;
+  };
+
+  ConjunctiveQuery unknown = fx.query;
+  unknown.atoms[0].relation = static_cast<RelationId>(9999);
+  expect_rejected(std::move(unknown), "unknown relation");
+
+  ConjunctiveQuery bad_arity = fx.query;
+  bad_arity.atoms[0].terms.pop_back();
+  expect_rejected(std::move(bad_arity), "arity mismatch");
+
+  ConjunctiveQuery unsafe = fx.query;
+  unsafe.free_variables.push_back("never_bound");
+  expect_rejected(std::move(unsafe), "unsafe head variable");
+
+  ConjunctiveQuery empty;
+  expect_rejected(std::move(empty), "empty body");
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.rejected, 4u);
+  EXPECT_EQ(stats.searches, 0u)
+      << "rejected requests never reach the planner";
+  ExpectConservation(stats);
 }
 
 // --- concurrent stress: mixed queries + mid-run epoch bumps ----------------
