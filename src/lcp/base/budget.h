@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 #include "lcp/base/clock.h"
 #include "lcp/base/status.h"
@@ -37,7 +38,9 @@ class CancelToken {
 };
 
 /// Accounting attached to a Budget. Shared across every component the budget
-/// is threaded through (ProofSearch nodes, ChaseEngine firings).
+/// is threaded through (ProofSearch nodes, ChaseEngine firings). Snapshots
+/// taken while charges are still in flight are internally consistent per
+/// field but not across fields.
 struct BudgetStats {
   long long nodes_charged = 0;
   long long firings_charged = 0;
@@ -60,7 +63,17 @@ struct BudgetStats {
 /// status appears; anytime callers (ProofSearch) convert kDeadlineExceeded
 /// into a best-effort result instead of an error.
 ///
-/// Not thread-safe: a budget belongs to one planning thread.
+/// Thread model: Charge*/Check/Cancel and the cancel-token poll are safe
+/// from any number of concurrent threads (the parallel proof search charges
+/// one shared budget from every worker); counters are atomic and the latch
+/// is first-writer-wins. Configuration — SetDeadline, set_node_cap,
+/// set_firing_cap, set_cancel_token — must happen before the budget is
+/// shared, and exhaustion()/stats() are exact only once concurrent chargers
+/// have quiesced (e.g. after the search joined its workers). With caps and
+/// concurrent chargers, up to one in-flight charge per thread can land
+/// after the cap trips; callers that need a hard global bound check the
+/// latch before acting (ProofSearch documents an overshoot of at most its
+/// parallelism).
 class Budget {
  public:
   /// Unlimited budget: every check passes.
@@ -73,13 +86,14 @@ class Budget {
   void set_firing_cap(long long cap) { firing_cap_ = cap; }
 
   /// Cooperative cancellation: all subsequent checks fail with `status`.
+  /// Safe from any thread; the first non-OK latch (cancel or exhaustion)
+  /// wins.
   void Cancel(Status status);
 
   /// Attaches a cross-thread cancellation token: every Charge*/Check call
   /// polls it, and a tripped token latches as the exhaustion status (with
   /// the token's code). This is how another thread cancels a planning
-  /// episode in flight — the Budget itself stays single-owner; only the
-  /// token is shared. Not owned; must outlive the budget's use.
+  /// episode in flight. Not owned; must outlive the budget's use.
   void set_cancel_token(const CancelToken* token) { cancel_token_ = token; }
 
   /// Records one search-node expansion / chase firing, then re-evaluates the
@@ -89,24 +103,48 @@ class Budget {
 
   /// Re-evaluates limits without charging anything. The cheap fast-path for
   /// inner loops: when no deadline is armed and no cap was hit this is a few
-  /// branches, no clock read.
+  /// atomic loads, no clock read.
   Status Check();
 
-  bool exhausted() const { return !exhaustion_.ok(); }
-  /// The latched exhaustion status (OK while the budget has room).
-  const Status& exhaustion() const { return exhaustion_; }
-  const BudgetStats& stats() const { return stats_; }
+  bool exhausted() const {
+    return latched_.load(std::memory_order_acquire);
+  }
+  /// The latched exhaustion status; OK while the budget has room. Stable
+  /// (never changes again) once exhausted() has returned true.
+  const Status& exhaustion() const {
+    if (latched_.load(std::memory_order_acquire)) return exhaustion_;
+    return ok_;
+  }
+  /// Field-consistent snapshot of the accounting counters.
+  BudgetStats stats() const;
 
  private:
   Status Evaluate();
+  /// First-writer-wins latch; returns the (possibly pre-existing) latched
+  /// status.
+  Status Latch(Status status, bool from_cancel);
 
   Clock* clock_ = nullptr;
   const CancelToken* cancel_token_ = nullptr;
   int64_t deadline_micros_ = -1;  ///< Absolute; -1 = no deadline.
   long long node_cap_ = -1;       ///< -1 = unlimited.
   long long firing_cap_ = -1;
+
+  std::atomic<long long> nodes_charged_{0};
+  std::atomic<long long> firings_charged_{0};
+  std::atomic<long long> deadline_checks_{0};
+  std::atomic<bool> deadline_hit_{false};
+  std::atomic<bool> node_cap_hit_{false};
+  std::atomic<bool> firing_cap_hit_{false};
+  std::atomic<bool> cancelled_{false};
+
+  /// exhaustion_ is written exactly once, under latch_mutex_, before the
+  /// release store to latched_; after that it is immutable, so lock-free
+  /// readers that observed latched_ == true may alias it freely.
+  std::atomic<bool> latched_{false};
+  std::mutex latch_mutex_;
   Status exhaustion_;
-  BudgetStats stats_;
+  const Status ok_;
 };
 
 }  // namespace lcp

@@ -5,25 +5,29 @@
 namespace lcp {
 
 ChaseTermId TermArena::InternConstant(const Value& value) {
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
   auto it = constant_ids_.find(value);
   if (it != constant_ids_.end()) return it->second;
-  ChaseTermId id = static_cast<ChaseTermId>(-1 - constants_.size());
-  constants_.push_back(value);
+  size_t index = constants_.Append(value);
+  ChaseTermId id = static_cast<ChaseTermId>(-1 - index);
   constant_ids_.emplace(value, id);
   return id;
 }
 
 ChaseTermId TermArena::NewNull(const std::string& base_name, int depth) {
-  ChaseTermId id = static_cast<ChaseTermId>(null_names_.size());
-  null_names_.push_back(base_name + "_" + std::to_string(id));
-  null_depths_.push_back(depth);
+  std::lock_guard<std::mutex> lock(mutate_mutex_);
+  ChaseTermId id = static_cast<ChaseTermId>(nulls_.size());
+  NullInfo info;
+  info.name = base_name + "_" + std::to_string(id);
+  info.depth = depth;
+  nulls_.Append(std::move(info));
   return id;
 }
 
 std::string TermArena::DisplayName(ChaseTermId id) const {
   if (IsConstant(id)) return ConstantOf(id).ToString();
-  LCP_CHECK(IsNull(id) && static_cast<size_t>(id) < null_names_.size());
-  return null_names_[static_cast<size_t>(id)];
+  LCP_CHECK(IsNull(id) && static_cast<size_t>(id) < nulls_.size());
+  return nulls_[static_cast<size_t>(id)].name;
 }
 
 }  // namespace lcp

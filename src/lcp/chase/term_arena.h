@@ -1,8 +1,11 @@
 #ifndef LCP_CHASE_TERM_ARENA_H_
 #define LCP_CHASE_TERM_ARENA_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -22,9 +25,77 @@ using ChaseTermId = int32_t;
 inline constexpr ChaseTermId kUnboundTerm =
     std::numeric_limits<ChaseTermId>::min();
 
+namespace internal {
+
+/// Append-only store with wait-free reads concurrent with appends. Elements
+/// live in fixed-size chunks that never move, so a published element's
+/// address is stable forever; readers bounds-check against an atomic size
+/// published with release order after the element (and its chunk pointer)
+/// are written. Appends themselves must be serialized externally (TermArena
+/// holds one mutation mutex for the whole arena).
+///
+/// Capacity is kMaxChunks * kChunkSize = 2^24 elements — far above anything
+/// a single planning episode allocates (the proof search caps nodes at ~1e5
+/// and charges every chase firing against a budget); Append checks the
+/// ceiling.
+template <typename T>
+class ChunkedStore {
+ public:
+  static constexpr size_t kChunkSize = 4096;
+  static constexpr size_t kMaxChunks = 4096;
+
+  ChunkedStore() = default;
+  ChunkedStore(const ChunkedStore&) = delete;
+  ChunkedStore& operator=(const ChunkedStore&) = delete;
+  ~ChunkedStore() {
+    for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
+  }
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Caller must hold the owning arena's mutation mutex.
+  size_t Append(T value) {
+    size_t index = size_.load(std::memory_order_relaxed);
+    LCP_CHECK(index < kChunkSize * kMaxChunks) << "ChunkedStore overflow";
+    size_t chunk = index / kChunkSize;
+    T* block = chunks_[chunk].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = new T[kChunkSize]();
+      chunks_[chunk].store(block, std::memory_order_relaxed);
+    }
+    block[index % kChunkSize] = std::move(value);
+    // Publishes the element, and transitively the chunk pointer, to any
+    // reader that observes the new size with acquire order.
+    size_.store(index + 1, std::memory_order_release);
+    return index;
+  }
+
+  /// Valid for index < size() as observed by this thread.
+  const T& operator[](size_t index) const {
+    return chunks_[index / kChunkSize].load(std::memory_order_relaxed)
+        [index % kChunkSize];
+  }
+
+ private:
+  std::atomic<size_t> size_{0};
+  std::array<std::atomic<T*>, kMaxChunks> chunks_{};
+};
+
+}  // namespace internal
+
 /// Owns the labeled nulls and interned constants used by chase
 /// configurations. One arena is shared by all configurations of a proof
 /// search, so term ids are stable across the search tree.
+///
+/// Thread model: reads of already-published terms (ConstantOf, DepthOf,
+/// DisplayName, num_nulls) are wait-free and safe concurrently with other
+/// threads creating new terms; NewNull and InternConstant serialize on an
+/// internal mutex. This is what lets the parallel proof search share one
+/// arena across its workers — every worker can mint nulls inside its chase
+/// closures while others read term names for plan construction. A term id
+/// obtained from a configuration is always safe to resolve: it was
+/// published (with release order) before the configuration holding it was
+/// handed over.
 class TermArena {
  public:
   TermArena() = default;
@@ -52,19 +123,24 @@ class TermArena {
 
   int DepthOf(ChaseTermId id) const {
     if (IsConstant(id)) return 0;
-    return null_depths_[static_cast<size_t>(id)];
+    return nulls_[static_cast<size_t>(id)].depth;
   }
 
   /// Printable name: nulls render as their display name, constants as their
   /// value.
   std::string DisplayName(ChaseTermId id) const;
 
-  size_t num_nulls() const { return null_names_.size(); }
+  size_t num_nulls() const { return nulls_.size(); }
 
  private:
-  std::vector<std::string> null_names_;
-  std::vector<int> null_depths_;
-  std::vector<Value> constants_;
+  struct NullInfo {
+    std::string name;
+    int depth = 0;
+  };
+
+  std::mutex mutate_mutex_;
+  internal::ChunkedStore<NullInfo> nulls_;
+  internal::ChunkedStore<Value> constants_;
   std::unordered_map<Value, ChaseTermId, ValueHash> constant_ids_;
 };
 

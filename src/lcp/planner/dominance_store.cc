@@ -1,0 +1,82 @@
+#include "lcp/planner/dominance_store.h"
+
+#include <mutex>
+#include <utility>
+
+#include "lcp/chase/fact.h"
+#include "lcp/chase/term_arena.h"
+
+namespace lcp {
+namespace search_internal {
+
+namespace {
+
+size_t NextPow2(int n) {
+  size_t p = 1;
+  while (p < static_cast<size_t>(n)) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint64_t ConfigFingerprint(const ChaseConfig& config) {
+  // Plain sum: commutative, so insertion order does not matter. Collisions
+  // are harmless (see header) — this only picks a shard.
+  FactHash hasher;
+  uint64_t fp = 0;
+  for (const Fact& fact : config.facts()) fp += hasher(fact);
+  return fp;
+}
+
+ConcurrentDominanceStore::ConcurrentDominanceStore(int shard_count)
+    : shards_(NextPow2(shard_count < 1 ? 1 : shard_count)) {}
+
+void ConcurrentDominanceStore::Insert(
+    uint64_t fingerprint, double cost, int accesses,
+    std::shared_ptr<const ChaseConfig> config) {
+  Shard& shard = shards_[ShardOf(fingerprint)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  shard.entries.push_back(
+      Entry{fingerprint, cost, accesses, std::move(config)});
+}
+
+bool ConcurrentDominanceStore::IsDominated(
+    const std::vector<PatternAtom>& pattern, size_t num_vars, double cost,
+    int accesses) const {
+  std::vector<std::shared_ptr<const ChaseConfig>> qualifying;
+  for (const Shard& shard : shards_) {
+    // Copy the qualifying entries out under the shared lock, then check
+    // homomorphisms lock-free: a homomorphism check can take a while, and
+    // holding even a shared lock across it would starve writers.
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mutex);
+      for (const Entry& entry : shard.entries) {
+        if (entry.cost > cost) continue;
+        // The dominator must also be able to afford every extension the
+        // child could (the access budget is a separate resource from cost).
+        if (entry.accesses > accesses) continue;
+        qualifying.push_back(entry.config);
+      }
+    }
+    for (const auto& config : qualifying) {
+      std::vector<ChaseTermId> assignment(num_vars, kUnboundTerm);
+      if (HasHomomorphism(pattern, *config, std::move(assignment))) {
+        return true;
+      }
+    }
+    qualifying.clear();
+  }
+  return false;
+}
+
+size_t ConcurrentDominanceStore::size() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+}  // namespace search_internal
+}  // namespace lcp

@@ -1,172 +1,54 @@
 #include "lcp/planner/proof_search.h"
 
-#include <algorithm>
 #include <deque>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "lcp/base/strings.h"
 #include "lcp/chase/matcher.h"
+#include "lcp/planner/search_core.h"
 
 namespace lcp {
 
 namespace {
 
-/// A (fact, method) pair that could be exposed by firing an accessibility
-/// axiom (§5, "candidate for exposure"). Facts are identified by their index
-/// in the root configuration (base facts never grow after the root closure,
-/// because original-schema constraints fire only there).
-struct Candidate {
-  int fact_index;
-  AccessMethodId method;
-};
+using search_internal::SearchCore;
+using search_internal::SearchNode;
 
-/// One node of the partial proof tree: a chase configuration over the
-/// accessible schema plus the SPJ plan prefix read off the proof.
-struct Node {
-  int id = 0;
-  int parent = -1;
-  ChaseConfig config;
-  std::unordered_set<ChaseTermId> accessible_terms;
-  /// Candidate indexes removed at this node (Algorithm 1, line 10). Not
-  /// inherited: children recompute candidacy from their own configuration.
-  std::unordered_set<int> removed;
-  size_t cursor = 0;  ///< Next candidate index to consider.
-  std::vector<Command> commands;
-  std::string table;  ///< Running temporary table; empty before any access.
-  std::vector<std::string> attrs;  ///< Its attributes (accessible nulls).
-  double cost = 0;
-  int accesses = 0;
-  bool success = false;
-  bool pruned = false;
-  std::string label;  ///< "expose F via mt" (for exploration logs).
-};
-
-class SearchContext {
+/// The sequential depth-first driver: the original Algorithm 1 loop, with
+/// node expansion delegated to SearchCore (shared with the parallel driver
+/// in parallel_search.cc). Exploration order, pruning decisions, node
+/// numbering, stats, and logs are bit-for-bit the pre-parallelism behavior.
+class SequentialContext {
  public:
-  SearchContext(const AccessibleSchema& acc, const CostFunction& cost,
-                const ConjunctiveQuery& query, const SearchOptions& options)
-      : acc_(acc),
-        cost_(cost),
-        query_(query),
+  SequentialContext(const AccessibleSchema& acc, const CostFunction& cost,
+                    const ConjunctiveQuery& query,
+                    const SearchOptions& options)
+      : core_(acc, cost, query, options),
         options_(options),
-        root_chase_(options.root_chase),
-        closure_chase_(options.closure_chase),
-        engine_(&acc.schema(), &arena_) {
-    // One budget bounds the whole episode: the search loop and every chase
-    // closure it runs charge against the same pool.
-    if (options.budget != nullptr) {
-      if (root_chase_.budget == nullptr) root_chase_.budget = options.budget;
-      if (closure_chase_.budget == nullptr) {
-        closure_chase_.budget = options.budget;
-      }
-    }
-  }
+        engine_(&core_.schema(), &core_.arena()) {}
 
   Result<SearchOutcome> Run();
 
  private:
   Status InitRoot();
-  bool CandidateFireable(const Node& node, const Candidate& cand) const;
   /// Creates the child of `node` exposing `cand`; returns its id, or -1 if
   /// it was pruned.
   Result<int> Expand(int node_id, int cand_index);
-  void MarkAccessible(Node& node, ChaseTermId term);
-  bool CheckSuccess(Node& node);
-  void RecordSuccess(Node& node);
-  bool IsDominated(const Node& child) const;
-  Fact AccessedFact(const Fact& base_fact) const {
-    return Fact(acc_.AccessedOf(base_fact.relation), base_fact.terms);
-  }
-  void Log(const Node& node, const std::string& status);
+  void RecordSuccess(SearchNode& node);
+  bool IsDominated(const SearchNode& child) const;
+  void Log(const SearchNode& node, const std::string& status);
 
-  const AccessibleSchema& acc_;
-  const CostFunction& cost_;
-  const ConjunctiveQuery& query_;
+  SearchCore core_;
   const SearchOptions& options_;
-  /// Chase options with the shared budget threaded in.
-  ChaseOptions root_chase_;
-  ChaseOptions closure_chase_;
-
-  TermArena arena_;
   ChaseEngine engine_;
-  std::vector<CompiledTgd> compiled_inferred_;
-  std::deque<Node> nodes_;
-  std::vector<Candidate> all_candidates_;
-  /// InferredAccQ compiled for success checks; free variables pre-bound to
-  /// their canonical nulls.
-  VariableTable query_vars_;
-  std::vector<PatternAtom> query_pattern_;
-  std::vector<ChaseTermId> query_assignment_template_;
-  std::vector<ChaseTermId> free_var_terms_;
+  std::deque<SearchNode> nodes_;
   SearchOutcome outcome_;
 };
 
-Status SearchContext::InitRoot() {
-  // Canonical database of Q, then the root closure with the original
-  // integrity constraints ("Original Schema Reasoning First").
-  CanonicalDatabase canonical = BuildCanonicalDatabase(query_, arena_);
-  Node root;
-  root.id = 0;
-  root.config = std::move(canonical.config);
-  LCP_ASSIGN_OR_RETURN(
-      ChaseStats root_stats,
-      engine_.Run(acc_.original_constraints(), root_chase_, root.config));
-  outcome_.stats.root_chase_firings = root_stats.firings;
-
-  // Schema constants (and by our convention, the query's constants) are
-  // accessible from the start.
-  for (const Value& c : acc_.base().constants()) {
-    MarkAccessible(root, arena_.InternConstant(c));
-  }
-  for (const Atom& atom : query_.atoms) {
-    for (const Term& t : atom.terms) {
-      if (t.is_constant()) {
-        MarkAccessible(root, arena_.InternConstant(t.constant()));
-      }
-    }
-  }
-
-  // Global candidate list: every (base fact, method-on-its-relation) pair,
-  // ordered by derivation depth (fact insertion index) then method cost.
-  for (int i = 0; i < static_cast<int>(root.config.facts().size()); ++i) {
-    const Fact& fact = root.config.facts()[i];
-    if (acc_.KindOf(fact.relation) != AccessibleRelationKind::kBase) continue;
-    for (AccessMethodId m : acc_.base().MethodsOnRelation(fact.relation)) {
-      all_candidates_.push_back(Candidate{i, m});
-    }
-  }
-  std::stable_sort(
-      all_candidates_.begin(), all_candidates_.end(),
-      [&](const Candidate& a, const Candidate& b) {
-        const AccessMethod& ma = acc_.base().access_method(a.method);
-        const AccessMethod& mb = acc_.base().access_method(b.method);
-        if (options_.candidate_order == CandidateOrder::kFreeAccessFirst) {
-          bool fa = ma.is_free_access();
-          bool fb = mb.is_free_access();
-          if (fa != fb) return fa;
-        }
-        if (a.fact_index != b.fact_index) return a.fact_index < b.fact_index;
-        if (ma.cost != mb.cost) return ma.cost < mb.cost;
-        return a.method < b.method;
-      });
-
-  // Compile InferredAccQ for success detection.
-  ConjunctiveQuery inferred_q = acc_.InferredAccQuery(query_);
-  query_pattern_ = CompileAtoms(inferred_q.atoms, query_vars_, arena_);
-  query_assignment_template_.assign(query_vars_.size(), kUnboundTerm);
-  for (const std::string& v : query_.free_variables) {
-    ChaseTermId term = canonical.var_to_term.at(v);
-    query_assignment_template_[query_vars_.IndexOf(v)] = term;
-    free_var_terms_.push_back(term);
-  }
-
-  // Compile the inferred-accessible copies of the constraints once.
-  for (const Tgd& tgd : acc_.inferred_constraints()) {
-    compiled_inferred_.push_back(CompileTgd(tgd, arena_));
-  }
-
-  root.label = "root";
+Status SequentialContext::InitRoot() {
+  LCP_ASSIGN_OR_RETURN(SearchNode root,
+                       core_.InitRoot(engine_, outcome_.stats));
   nodes_.push_back(std::move(root));
   outcome_.stats.nodes_created = 1;
   // The root counts against the node budget like any other node.
@@ -175,275 +57,40 @@ Status SearchContext::InitRoot() {
   return Status::Ok();
 }
 
-void SearchContext::MarkAccessible(Node& node, ChaseTermId term) {
-  if (!node.accessible_terms.insert(term).second) return;
-  node.config.Add(Fact(acc_.accessible_relation(), {term}));
-}
-
-bool SearchContext::CandidateFireable(const Node& node,
-                                      const Candidate& cand) const {
-  // Callers filter node.removed; here we check the semantic conditions.
-  const Fact& fact = node.config.facts()[cand.fact_index];
-  if (node.config.Contains(AccessedFact(fact))) return false;
-  const AccessMethod& method = acc_.base().access_method(cand.method);
-  for (int pos : method.input_positions) {
-    if (node.accessible_terms.count(fact.terms[pos]) == 0) return false;
-  }
-  return true;
-}
-
-bool SearchContext::CheckSuccess(Node& node) {
-  std::vector<ChaseTermId> assignment = query_assignment_template_;
-  return HasHomomorphism(query_pattern_, node.config, std::move(assignment));
-}
-
-// GCC 12's middle end, at some inlining depths, reports false-positive
-// -Wrestrict / -Wmaybe-uninitialized warnings for std::variant<Command>
-// relocations inside the commands.push_back calls in RecordSuccess and
-// Expand (all AccessCommand members have default initializers; nothing here
-// reads uninitialized state). Suppress narrowly around these functions to
-// keep the build warning-clean.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wrestrict"
-#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
-#endif
-
-void SearchContext::RecordSuccess(Node& node) {
+void SequentialContext::RecordSuccess(SearchNode& node) {
   node.success = true;
   ++outcome_.stats.successes;
-
-  Plan plan;
-  plan.commands = node.commands;
-  if (!query_.free_variables.empty()) {
-    std::vector<std::string> out_attrs;
-    for (ChaseTermId term : free_var_terms_) {
-      out_attrs.push_back(arena_.DisplayName(term));
-    }
-    std::string out_table = StrCat("t", node.id, "_out");
-    plan.commands.push_back(QueryCommand{
-        out_table, RaExpr::Project(RaExpr::TempScan(node.table), out_attrs)});
-    plan.output_table = out_table;
-    plan.output_attrs = out_attrs;
-  } else {
-    plan.output_table = node.table;
-  }
-  double cost = node.cost;
+  FoundPlan found = core_.MakeFoundPlan(node);
   if (options_.keep_all_plans) {
-    outcome_.all_plans.push_back(FoundPlan{plan, cost});
+    outcome_.all_plans.push_back(found);
   }
-  if (!outcome_.best.has_value() || cost < outcome_.best->cost) {
-    outcome_.best = FoundPlan{std::move(plan), cost};
+  if (!outcome_.best.has_value() || found.cost < outcome_.best->cost) {
+    outcome_.best = std::move(found);
   }
 }
 
-bool SearchContext::IsDominated(const Node& child) const {
-  // Build the pattern: the child's base, InferredAcc, and accessible facts,
-  // with nulls as variables except the query's free-variable constants,
-  // which any dominating configuration must also realize identically.
-  std::unordered_set<ChaseTermId> fixed(free_var_terms_.begin(),
-                                        free_var_terms_.end());
-  std::unordered_map<ChaseTermId, int> var_of;
-  std::vector<PatternAtom> pattern;
-  for (const Fact& fact : child.config.facts()) {
-    AccessibleRelationKind kind = acc_.KindOf(fact.relation);
-    if (kind == AccessibleRelationKind::kAccessed) continue;
-    PatternAtom atom;
-    atom.relation = fact.relation;
-    for (ChaseTermId t : fact.terms) {
-      PatternAtom::Slot slot;
-      if (TermArena::IsConstant(t) || fixed.count(t) > 0) {
-        slot.is_variable = false;
-        slot.term = t;
-      } else {
-        slot.is_variable = true;
-        auto [it, inserted] = var_of.emplace(t, static_cast<int>(var_of.size()));
-        slot.var_index = it->second;
-      }
-      atom.slots.push_back(slot);
-    }
-    pattern.push_back(std::move(atom));
-  }
-  std::vector<ChaseTermId> assignment(var_of.size(), kUnboundTerm);
-  for (const Node& other : nodes_) {
+bool SequentialContext::IsDominated(const SearchNode& child) const {
+  SearchCore::DominanceProbe probe = core_.MakeDominanceProbe(child);
+  for (const SearchNode& other : nodes_) {
     if (other.id == child.id || other.pruned) continue;
     if (other.cost > child.cost) continue;
     // The dominator must also be able to afford every extension the child
     // could (the access budget is a separate resource from cost).
     if (other.accesses > child.accesses) continue;
-    if (HasHomomorphism(pattern, other.config, assignment)) return true;
+    std::vector<ChaseTermId> assignment(probe.num_vars, kUnboundTerm);
+    if (HasHomomorphism(probe.pattern, other.config, std::move(assignment))) {
+      return true;
+    }
   }
   return false;
 }
 
-Result<int> SearchContext::Expand(int node_id, int cand_index) {
-  ++outcome_.stats.nodes_expanded;
-  const Candidate& cand = all_candidates_[cand_index];
-  // Take copies up front: growing nodes_ may relocate elements (std::deque
-  // keeps references stable, but keep the code robust to container swaps).
-  const Fact exposed = nodes_[node_id].config.facts()[cand.fact_index];
-  const AccessMethod& method = acc_.base().access_method(cand.method);
-
-  // Facts induced by firing: all base facts over the same relation agreeing
-  // with the exposed fact on the method's input positions, not yet accessed.
-  // Seed the scan from the most selective positional-index bucket over the
-  // method's input positions instead of the full relation extension.
-  const std::vector<int>* candidates =
-      &nodes_[node_id].config.FactsOf(exposed.relation);
-  if (candidates->size() > ChaseConfig::kIndexProbeThreshold) {
-    for (int pos : method.input_positions) {
-      const std::vector<int>& bucket = nodes_[node_id].config.FactsWith(
-          exposed.relation, pos, exposed.terms[pos]);
-      if (bucket.size() < candidates->size()) candidates = &bucket;
-    }
-  }
-  std::vector<Fact> induced;
-  for (int idx : *candidates) {
-    const Fact& d = nodes_[node_id].config.facts()[idx];
-    bool agrees = true;
-    for (int pos : method.input_positions) {
-      if (d.terms[pos] != exposed.terms[pos]) {
-        agrees = false;
-        break;
-      }
-    }
-    if (agrees && !nodes_[node_id].config.Contains(AccessedFact(d))) {
-      induced.push_back(d);
-    }
-  }
-  LCP_CHECK(!induced.empty());
-
-  // Algorithm 1, line 10: the parent will not re-fire this same access for
-  // any of the induced facts.
-  for (int i = 0; i < static_cast<int>(all_candidates_.size()); ++i) {
-    if (all_candidates_[i].method != cand.method) continue;
-    const Fact& d =
-        nodes_[node_id].config.facts()[all_candidates_[i].fact_index];
-    if (d.relation != exposed.relation) continue;
-    bool agrees = true;
-    for (int pos : method.input_positions) {
-      if (d.terms[pos] != exposed.terms[pos]) {
-        agrees = false;
-        break;
-      }
-    }
-    if (agrees) nodes_[node_id].removed.insert(i);
-  }
-
-  Node child;
-  child.id = static_cast<int>(nodes_.size());
-  child.parent = node_id;
-  child.config = nodes_[node_id].config;
-  child.accessible_terms = nodes_[node_id].accessible_terms;
-  child.commands = nodes_[node_id].commands;
-  child.table = nodes_[node_id].table;
-  child.attrs = nodes_[node_id].attrs;
-  child.accesses = nodes_[node_id].accesses + 1;
-  child.label =
-      StrCat("expose ", FactToString(exposed, acc_.schema(), arena_), " via ",
-             method.name);
-
-  // --- configuration update ----------------------------------------------
-  for (const Fact& d : induced) {
-    child.config.Add(AccessedFact(d));
-    child.config.Add(Fact(acc_.InferredOf(d.relation), d.terms));
-    for (ChaseTermId t : d.terms) MarkAccessible(child, t);
-  }
-  // "Fire Inferred Accessible Rules Immediately": close under the
-  // InferredAcc copies of the integrity constraints.
+Result<int> SequentialContext::Expand(int node_id, int cand_index) {
   LCP_ASSIGN_OR_RETURN(
-      ChaseStats closure_stats,
-      engine_.Run(compiled_inferred_, closure_chase_, child.config));
-  outcome_.stats.closure_firings += closure_stats.firings;
-
-  // --- plan update (§4 proof-to-plan translation) --------------------------
-  const std::string parent_table = child.table;
-  std::string raw = StrCat("t", child.id, "_raw");
-  AccessCommand access;
-  access.method = cand.method;
-  access.output_table = raw;
-  const Relation& rel = acc_.base().relation(exposed.relation);
-  for (int i = 0; i < rel.arity; ++i) {
-    access.output_columns.emplace_back(StrCat("#p", i), i);
-  }
-  std::vector<std::string> input_attrs;
-  for (int pos : method.input_positions) {
-    ChaseTermId t = exposed.terms[pos];
-    if (TermArena::IsConstant(t)) {
-      access.constant_inputs.emplace_back(pos, arena_.ConstantOf(t));
-    } else {
-      std::string attr = arena_.DisplayName(t);
-      access.input_binding.emplace_back(attr, pos);
-      if (std::find(input_attrs.begin(), input_attrs.end(), attr) ==
-          input_attrs.end()) {
-        input_attrs.push_back(attr);
-      }
-    }
-  }
-  if (!input_attrs.empty()) {
-    LCP_CHECK(!parent_table.empty())
-        << "accessible null inputs require a previous table";
-    access.input =
-        RaExpr::Project(RaExpr::TempScan(parent_table), input_attrs);
-  }
-  child.commands.push_back(std::move(access));
-
-  // One derived table per induced fact, then one join command.
-  std::vector<std::string> fact_tables;
-  for (size_t fi = 0; fi < induced.size(); ++fi) {
-    const Fact& d = induced[fi];
-    RaExprPtr expr = RaExpr::TempScan(raw);
-    std::vector<RaExpr::Condition> conds;
-    std::unordered_map<ChaseTermId, int> first_pos;
-    std::vector<std::pair<std::string, std::string>> renames;
-    std::vector<std::string> proj;
-    for (int i = 0; i < rel.arity; ++i) {
-      ChaseTermId t = d.terms[i];
-      std::string col = StrCat("#p", i);
-      if (TermArena::IsConstant(t)) {
-        conds.push_back(
-            RaExpr::Condition::AttrEqConst(col, arena_.ConstantOf(t)));
-        continue;
-      }
-      auto it = first_pos.find(t);
-      if (it != first_pos.end()) {
-        conds.push_back(
-            RaExpr::Condition::AttrEqAttr(col, StrCat("#p", it->second)));
-      } else {
-        first_pos.emplace(t, i);
-        std::string attr = arena_.DisplayName(t);
-        renames.emplace_back(col, attr);
-        proj.push_back(attr);
-        if (std::find(child.attrs.begin(), child.attrs.end(), attr) ==
-            child.attrs.end()) {
-          child.attrs.push_back(attr);
-        }
-      }
-    }
-    if (!conds.empty()) expr = RaExpr::Select(std::move(expr), std::move(conds));
-    if (!renames.empty()) {
-      expr = RaExpr::Rename(std::move(expr), std::move(renames));
-    }
-    expr = RaExpr::Project(std::move(expr), std::move(proj));
-    std::string table = StrCat("t", child.id, "_f", fi);
-    child.commands.push_back(QueryCommand{table, std::move(expr)});
-    fact_tables.push_back(std::move(table));
-  }
-  RaExprPtr joined =
-      parent_table.empty() ? nullptr : RaExpr::TempScan(parent_table);
-  for (const std::string& table : fact_tables) {
-    RaExprPtr scan = RaExpr::TempScan(table);
-    joined = joined ? RaExpr::Join(std::move(joined), std::move(scan))
-                    : std::move(scan);
-  }
-  child.table = StrCat("t", child.id);
-  child.commands.push_back(QueryCommand{child.table, std::move(joined)});
-
-  // --- cost & pruning -------------------------------------------------------
-  Plan partial;
-  partial.commands = child.commands;
-  partial.output_table = child.table;
-  child.cost = cost_.Cost(partial);
+      SearchNode child,
+      core_.BuildChild(nodes_[node_id], cand_index,
+                       static_cast<int>(nodes_.size()), engine_,
+                       outcome_.stats));
 
   if (options_.prune_by_cost && outcome_.best.has_value() &&
       child.cost >= outcome_.best->cost) {
@@ -459,7 +106,7 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
     return -1;
   }
 
-  bool success = CheckSuccess(child);
+  bool success = core_.CheckSuccess(child);
   int child_id = child.id;
   nodes_.push_back(std::move(child));
   ++outcome_.stats.nodes_created;
@@ -475,20 +122,13 @@ Result<int> SearchContext::Expand(int node_id, int cand_index) {
   return child_id;
 }
 
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-
-void SearchContext::Log(const Node& node, const std::string& status) {
+void SequentialContext::Log(const SearchNode& node,
+                            const std::string& status) {
   if (!options_.collect_exploration_log) return;
-  outcome_.exploration_log.push_back(
-      StrCat("n", node.id, (node.parent >= 0 ? StrCat(" <- n", node.parent)
-                                             : std::string("")),
-             " [", node.label, "] facts=", node.config.size(),
-             " accesses=", node.accesses, " ", status));
+  outcome_.exploration_log.push_back(core_.LogLine(node, status));
 }
 
-Result<SearchOutcome> SearchContext::Run() {
+Result<SearchOutcome> SequentialContext::Run() {
   Status init = InitRoot();
   if (!init.ok()) {
     // Anytime contract: a budget that dies during the root closure yields an
@@ -509,22 +149,12 @@ Result<SearchOutcome> SearchContext::Run() {
       }
     }
     int vid = stack.back();
-    Node& v = nodes_[vid];
+    SearchNode& v = nodes_[vid];
     if (v.success) {
       stack.pop_back();
       continue;
     }
-    // Find the next fireable candidate at v.
-    int cand_index = -1;
-    while (v.cursor < all_candidates_.size()) {
-      int i = static_cast<int>(v.cursor);
-      ++v.cursor;
-      if (v.removed.count(i) > 0) continue;
-      if (CandidateFireable(v, all_candidates_[i])) {
-        cand_index = i;
-        break;
-      }
-    }
+    int cand_index = core_.NextCandidate(v);
     if (cand_index < 0) {
       stack.pop_back();
       continue;
@@ -574,19 +204,30 @@ Result<SearchOutcome> ProofSearch::Run(const ConjunctiveQuery& query,
         "ProofSearch (Algorithm 1) uses the standard AcSch axioms; build the "
         "accessible schema with AccessibleVariant::kStandard");
   }
-  SearchContext context(*accessible_, *cost_, query, options);
+  if (options.parallelism > 1) {
+    if (options.collect_exploration_log) {
+      return InvalidArgumentError(
+          "collect_exploration_log requires parallelism == 1: the "
+          "exploration log is an ordered depth-first trace, and a parallel "
+          "exploration has no canonical order");
+    }
+    return search_internal::RunParallelSearch(*accessible_, *cost_, query,
+                                              options);
+  }
+  SequentialContext context(*accessible_, *cost_, query, options);
   return context.Run();
 }
 
 Result<FoundPlan> FindAnyPlan(const AccessibleSchema& accessible,
                               const ConjunctiveQuery& query,
-                              int max_access_commands) {
+                              int max_access_commands, int parallelism) {
   SimpleCostFunction cost(&accessible.base());
   ProofSearch search(&accessible, &cost);
   SearchOptions options;
   options.max_access_commands = max_access_commands;
   options.stop_at_first_plan = true;
   options.prune_by_cost = false;
+  options.parallelism = parallelism;
   LCP_ASSIGN_OR_RETURN(SearchOutcome outcome, search.Run(query, options));
   if (!outcome.best.has_value()) {
     return NotFoundError(

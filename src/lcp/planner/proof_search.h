@@ -52,8 +52,32 @@ struct SearchOptions {
   ChaseOptions root_chase;
   ChaseOptions closure_chase;
   /// Record one human-readable line per node (Figure 1 style dumps).
+  /// Requires parallelism == 1: the log is an ordered trace of a
+  /// depth-first exploration, and a parallel exploration has no canonical
+  /// order — Run returns kInvalidArgument when both are requested.
   bool collect_exploration_log = false;
   CandidateOrder candidate_order = CandidateOrder::kDerivationDepth;
+  /// Number of search workers. 1 (the default) runs the original sequential
+  /// depth-first driver — bit-for-bit the pre-parallelism behavior,
+  /// including exploration-log support and deterministic node numbering.
+  /// Values > 1 run a work-stealing parallel driver: workers expand nodes
+  /// against a shared atomic incumbent bound (prune_by_cost uses the global
+  /// cheapest plan) and a sharded concurrent dominance store. Guarantees
+  /// versus the sequential driver:
+  ///  - Run to exhaustion (exhaustion.ok()), it finds the same optimal
+  ///    cost; the identity of the returned plan may differ when several
+  ///    plans tie or the exploration order changes which one is found
+  ///    first.
+  ///  - The anytime contract is preserved: on budget exhaustion or
+  ///    cancellation every worker winds down, all threads are joined before
+  ///    Run returns, and the outcome carries the best plan found so far.
+  ///  - Stats are coherent (merged after the workers quiesce), but
+  ///    nodes_created may overshoot max_nodes by at most `parallelism`
+  ///    (each worker checks the cap before, not atomically with, its next
+  ///    creation); similarly a shared Budget's node cap can be overshot by
+  ///    at most one in-flight charge per worker.
+  /// Values < 1 are treated as 1.
+  int parallelism = 1;
   /// Optional shared execution budget (wall-clock deadline + node/firing
   /// caps). The search checks it before every expansion and threads it into
   /// the root and per-node chase closures, so one budget bounds the whole
@@ -129,10 +153,12 @@ class ProofSearch {
 
 /// Convenience wrapper: returns a (not necessarily optimal) plan for the
 /// query if one exists within the access budget — the effective content of
-/// Theorem 5 — or NOT_FOUND.
+/// Theorem 5 — or NOT_FOUND. `parallelism` > 1 searches with that many
+/// workers in first-plan mode: the first success stops the whole pool
+/// promptly (every other worker exits at its next poll point).
 Result<FoundPlan> FindAnyPlan(const AccessibleSchema& accessible,
                               const ConjunctiveQuery& query,
-                              int max_access_commands);
+                              int max_access_commands, int parallelism = 1);
 
 }  // namespace lcp
 

@@ -47,6 +47,13 @@ QueryService::QueryService(const AccessibleSchema* accessible,
   // Per-request budgets are armed in Serve; a caller-supplied budget in the
   // template would be shared across threads, which Budget forbids.
   options_.search.budget = nullptr;
+  options_.search.parallelism =
+      options_.planner_parallelism < 1 ? 1 : options_.planner_parallelism;
+  if (options_.search.parallelism > 1) {
+    // Unsupported under parallel search; dropping it here beats failing
+    // every request with kInvalidArgument.
+    options_.search.collect_exploration_log = false;
+  }
   int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
   workers_.reserve(workers);
   for (int i = 0; i < workers; ++i) {

@@ -59,6 +59,12 @@ struct ServiceOptions {
   /// Template for every planning episode. Its `budget` pointer is ignored:
   /// budgets are per-request (see planning_budget_micros).
   SearchOptions search;
+  /// Proof-search workers per planning episode (SearchOptions::parallelism);
+  /// overrides `search.parallelism`. The total planning thread count is
+  /// num_workers * planner_parallelism — keep the product near the core
+  /// count. Values < 1 are treated as 1. When > 1, the exploration log is
+  /// disabled on the search template (unsupported under parallel search).
+  int planner_parallelism = 1;
   /// Template for every execution. Its `clock` is overridden by `clock`
   /// below when null.
   ExecutionOptions execution;

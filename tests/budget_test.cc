@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "lcp/base/clock.h"
 #include "lcp/chase/engine.h"
@@ -362,6 +364,72 @@ TEST(AnytimeSearchTest, SharedBudgetCountsChaseFirings) {
   // firings of every chase closure the search ran.
   EXPECT_EQ(budget.stats().nodes_charged, outcome->stats.nodes_created);
   EXPECT_GT(budget.stats().firings_charged, 0);
+}
+
+TEST(BudgetConcurrencyTest, ConcurrentChargesAllCounted) {
+  // Budget is shared by every worker of a parallel proof search; charges
+  // from concurrent threads must not be lost.
+  Budget budget;
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        ASSERT_TRUE(budget.ChargeNode().ok());
+        ASSERT_TRUE(budget.ChargeFiring().ok());
+        ASSERT_TRUE(budget.Check().ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.stats().nodes_charged, kThreads * kChargesPerThread);
+  EXPECT_EQ(budget.stats().firings_charged, kThreads * kChargesPerThread);
+}
+
+TEST(BudgetConcurrencyTest, FirstLatchWinsUnderContention) {
+  // Concurrent cancellations racing a cap trip: exactly one status latches,
+  // and every later check reports that same status.
+  Budget budget;
+  budget.set_node_cap(50);
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&budget, t] {
+      if (t == 0) {
+        budget.Cancel(CancelledError("racing cancel"));
+      } else {
+        for (int i = 0; i < 100; ++i) (void)budget.ChargeNode();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ASSERT_TRUE(budget.exhausted());
+  Status latched = budget.exhaustion();
+  EXPECT_TRUE(latched.code() == StatusCode::kCancelled ||
+              latched.code() == StatusCode::kResourceExhausted)
+      << latched;
+  // Stable: later checks return the identical latched status.
+  EXPECT_EQ(budget.Check().code(), latched.code());
+  EXPECT_EQ(budget.ChargeNode().code(), latched.code());
+  EXPECT_EQ(budget.exhaustion().code(), latched.code());
+  EXPECT_TRUE(budget.stats().cancelled);
+}
+
+TEST(BudgetConcurrencyTest, CancelTokenTripsConcurrentChargers) {
+  CancelToken token;
+  Budget budget;
+  budget.set_cancel_token(&token);
+  std::atomic<bool> done{false};
+  std::thread charger([&budget, &done] {
+    while (budget.ChargeNode().ok()) {
+    }
+    done.store(true);
+  });
+  token.Cancel(StatusCode::kUnavailable);
+  charger.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(budget.exhaustion().code(), StatusCode::kUnavailable);
 }
 
 }  // namespace
