@@ -2,7 +2,8 @@
 # Runs the benchmark suite and records the perf trajectory as JSON.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON] [RUNTIME_OUT_JSON] \
-#                             [SERVICE_OUT_JSON] [PARALLEL_OUT_JSON]
+#                             [SERVICE_OUT_JSON] [PARALLEL_OUT_JSON] \
+#                             [RUNTIME_EXEC_OUT_JSON]
 #   BUILD_DIR         cmake build directory containing the bench binaries
 #                     (default: build)
 #   OUT_JSON          output path for the chase google-benchmark JSON report
@@ -13,6 +14,10 @@
 #                     (default: BENCH_service.json in the current directory)
 #   PARALLEL_OUT_JSON output path for the parallel proof-search JSON report
 #                     (default: BENCH_parallel.json in the current directory)
+#   RUNTIME_EXEC_OUT_JSON
+#                     output path for the execution-engine JSON report
+#                     (default: BENCH_runtime_exec.json in the current
+#                     directory)
 #
 # BENCH_chase.json includes BM_ChaseTransitiveClosure in both evaluation
 # modes (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase),
@@ -31,6 +36,12 @@
 # serving path), and overload behavior against a bounded queue
 # (BM_ServiceOverload: goodput, shed rate, and the p50/p99 latency of a
 # rejected Submit — the fast-fail path should stay in the microseconds).
+# BENCH_runtime_exec.json covers the execution engines on a join-heavy
+# plan: BM_ExecuteRowOracle (tuple-at-a-time) vs BM_ExecuteVectorized
+# (columnar batches) at growing instance sizes. Both produce bit-identical
+# results; the summary prints the vectorized speedup per size (target:
+# >= 5x on the larger sizes).
+#
 # BENCH_parallel.json covers the work-stealing parallel proof search
 # (BM_ParallelSearch, workers 1/2/4/8 on the hard chain workload). Every row
 # records its `parallelism` counter plus `host_cores`; the summary prints
@@ -45,13 +56,15 @@ OUT_JSON="${2:-BENCH_chase.json}"
 RUNTIME_OUT_JSON="${3:-BENCH_runtime.json}"
 SERVICE_OUT_JSON="${4:-BENCH_service.json}"
 PARALLEL_OUT_JSON="${5:-BENCH_parallel.json}"
+RUNTIME_EXEC_OUT_JSON="${6:-BENCH_runtime_exec.json}"
 CHASE_BIN="${BUILD_DIR}/bench/bench_chase"
 RUNTIME_BIN="${BUILD_DIR}/bench/bench_runtime_faults"
 SERVICE_BIN="${BUILD_DIR}/bench/bench_service"
 PARALLEL_BIN="${BUILD_DIR}/bench/bench_parallel_search"
+RUNTIME_EXEC_BIN="${BUILD_DIR}/bench/bench_runtime"
 
 for bin in "${CHASE_BIN}" "${RUNTIME_BIN}" "${SERVICE_BIN}" \
-           "${PARALLEL_BIN}"; do
+           "${PARALLEL_BIN}" "${RUNTIME_EXEC_BIN}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found; build first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -188,5 +201,39 @@ for p in sorted(rows):
 if cores < 4:
     print("  note: host has fewer than 4 cores; the speedup column "
           "measures scheduling overhead, not parallel capacity")
+EOF
+fi
+
+"${RUNTIME_EXEC_BIN}" \
+  --benchmark_out="${RUNTIME_EXEC_OUT_JSON}" \
+  --benchmark_out_format=json \
+  ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
+
+echo "wrote ${RUNTIME_EXEC_OUT_JSON}"
+
+# Vectorized-vs-row speedup on the join-heavy execution plan, per instance
+# size. Informational, like the other summaries.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${RUNTIME_EXEC_OUT_JSON}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+row, vec = {}, {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    if "n:" not in name:
+        continue
+    n = name.split("n:")[1].split("/")[0]
+    if name.startswith("BM_ExecuteRowOracle/"):
+        row[n] = b["real_time"]
+    elif name.startswith("BM_ExecuteVectorized/"):
+        vec[n] = b["real_time"]
+for n in sorted(row, key=int):
+    if n in vec and vec[n] > 0:
+        print(f"vectorized speedup (n={n}): {row[n] / vec[n]:.1f}x "
+              f"(row {row[n]:.2f}ms -> vectorized {vec[n]:.2f}ms)")
 EOF
 fi

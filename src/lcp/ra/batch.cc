@@ -1,0 +1,164 @@
+#include "lcp/ra/batch.h"
+
+#include <limits>
+#include <utility>
+
+#include "lcp/base/check.h"
+
+namespace lcp {
+
+TermCode TermPool::Intern(const Value& v) {
+  auto it = codes_.find(v);
+  if (it != codes_.end()) return it->second;
+  LCP_CHECK_LT(values_.size(),
+               static_cast<size_t>(std::numeric_limits<TermCode>::max()))
+      << "term pool overflow";
+  TermCode code = static_cast<TermCode>(values_.size());
+  values_.push_back(v);
+  codes_.emplace(values_.back(), code);
+  return code;
+}
+
+ColumnBatch::ColumnBatch(std::vector<std::string> attrs)
+    : attrs_(std::move(attrs)) {
+  columns_.reserve(attrs_.size());
+  auto empty = std::make_shared<const std::vector<TermCode>>();
+  for (size_t i = 0; i < attrs_.size(); ++i) columns_.push_back(empty);
+}
+
+ColumnBatch ColumnBatch::FromDense(std::vector<std::string> attrs,
+                                   std::vector<std::vector<TermCode>> columns,
+                                   size_t num_rows) {
+  LCP_CHECK_EQ(attrs.size(), columns.size());
+  ColumnBatch batch;
+  batch.attrs_ = std::move(attrs);
+  batch.physical_rows_ = num_rows;
+  batch.columns_.reserve(columns.size());
+  for (auto& col : columns) {
+    LCP_CHECK_EQ(col.size(), num_rows) << "ragged batch column";
+    batch.columns_.push_back(
+        std::make_shared<const std::vector<TermCode>>(std::move(col)));
+  }
+  return batch;
+}
+
+int ColumnBatch::AttrIndex(const std::string& attr) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == attr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+ColumnBatch ColumnBatch::Filtered(std::vector<uint32_t> live) const {
+  ColumnBatch out;
+  out.attrs_ = attrs_;
+  out.columns_ = columns_;
+  out.physical_rows_ = physical_rows_;
+  out.has_selection_ = true;
+  if (has_selection_) {
+    // Compose: map live indices through the current selection.
+    out.selection_.reserve(live.size());
+    for (uint32_t i : live) out.selection_.push_back(selection_[i]);
+  } else {
+    out.selection_ = std::move(live);
+  }
+  return out;
+}
+
+ColumnBatch ColumnBatch::WithColumns(std::vector<std::string> attrs,
+                                     const std::vector<int>& cols) const {
+  LCP_CHECK_EQ(attrs.size(), cols.size());
+  ColumnBatch out;
+  out.attrs_ = std::move(attrs);
+  out.columns_.reserve(cols.size());
+  for (int c : cols) {
+    LCP_CHECK(c >= 0 && static_cast<size_t>(c) < columns_.size());
+    out.columns_.push_back(columns_[c]);
+  }
+  out.physical_rows_ = physical_rows_;
+  out.has_selection_ = has_selection_;
+  out.selection_ = selection_;
+  return out;
+}
+
+size_t HashBatchRow(const ColumnBatch& batch, const std::vector<int>& cols,
+                    size_t i) {
+  size_t h = 0x811c9dc5;
+  for (int c : cols) {
+    h ^= static_cast<size_t>(batch.At(static_cast<size_t>(c), i)) +
+         0x9e3779b97f4a7c15ULL;
+    h *= 0x01000193;
+  }
+  return h;
+}
+
+namespace {
+
+/// True if live rows `a` and `b` agree on every column in `cols`.
+bool RowsEqual(const ColumnBatch& batch, const std::vector<int>& cols,
+               size_t a, size_t b) {
+  for (int c : cols) {
+    const size_t col = static_cast<size_t>(c);
+    if (batch.At(col, a) != batch.At(col, b)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ColumnBatch ColumnBatch::Deduplicated(size_t* dropped) const {
+  std::vector<int> all_cols(attrs_.size());
+  for (size_t c = 0; c < attrs_.size(); ++c) all_cols[c] = static_cast<int>(c);
+  const size_t n = num_rows();
+  // Nullary batch: set semantics collapse to at most one row.
+  if (attrs_.empty()) {
+    if (dropped != nullptr) *dropped = n > 1 ? n - 1 : 0;
+    if (n <= 1) return *this;
+    return Filtered({0});
+  }
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  RowHashIndex seen(n);  // kept live indexes, bucketed by row hash
+  for (size_t i = 0; i < n; ++i) {
+    const size_t h = HashBatchRow(*this, all_cols, i);
+    bool dup = false;
+    seen.ForEachCandidate(h, [&](uint32_t kept_row) {
+      dup = RowsEqual(*this, all_cols, kept_row, i);
+      return dup;
+    });
+    if (dup) continue;
+    seen.Insert(h, static_cast<uint32_t>(i));
+    keep.push_back(static_cast<uint32_t>(i));
+  }
+  if (dropped != nullptr) *dropped = n - keep.size();
+  if (keep.size() == n) return *this;
+  return Filtered(std::move(keep));
+}
+
+Table ColumnBatch::ToTable(const TermPool& pool) const {
+  Table table(attrs_);
+  const size_t n = num_rows();
+  table.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Tuple row;
+    row.reserve(attrs_.size());
+    for (size_t c = 0; c < attrs_.size(); ++c) {
+      row.push_back(pool.Decode(At(c, i)));
+    }
+    table.Insert(std::move(row));
+  }
+  return table;
+}
+
+ColumnBatch ColumnBatch::FromTable(const Table& table, TermPool& pool) {
+  std::vector<std::vector<TermCode>> columns(table.attrs().size());
+  for (auto& col : columns) col.reserve(table.size());
+  for (const Tuple& row : table.rows()) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      columns[c].push_back(pool.Intern(row[c]));
+    }
+  }
+  return FromDense(table.attrs(), std::move(columns), table.size());
+}
+
+}  // namespace lcp

@@ -19,6 +19,7 @@ Result<Table> EvalProject(Table input, const std::vector<std::string>& attrs) {
     indexes.push_back(idx);
   }
   Table out(attrs);
+  out.Reserve(input.size());
   for (const Tuple& row : input.rows()) {
     Tuple projected;
     projected.reserve(indexes.size());
@@ -59,6 +60,7 @@ Result<Table> EvalSelect(Table input,
     resolved.push_back(std::move(r));
   }
   Table out(input.attrs());
+  out.Reserve(input.size());
   for (const Tuple& row : input.rows()) {
     bool keep = true;
     for (const ResolvedCondition& r : resolved) {
@@ -90,8 +92,11 @@ Result<Table> EvalJoin(const Table& left, const Table& right) {
   for (int j : right_extra) out_attrs.push_back(right.attrs()[j]);
   Table out(std::move(out_attrs));
 
+  out.Reserve(left.size());
+
   // Build a hash index on the right side keyed by the shared attributes.
   std::unordered_map<Tuple, std::vector<int>, TupleHash> index;
+  index.reserve(right.size());
   for (size_t r = 0; r < right.rows().size(); ++r) {
     Tuple key;
     key.reserve(shared.size());
@@ -167,6 +172,7 @@ Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env) {
       LCP_ASSIGN_OR_RETURN(std::vector<int> perm,
                            AlignAttrs(left.attrs(), right));
       Table out = left;
+      out.Reserve(left.size() + right.size());
       for (const Tuple& row : right.rows()) {
         Tuple aligned;
         aligned.reserve(perm.size());
@@ -181,6 +187,7 @@ Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env) {
       LCP_ASSIGN_OR_RETURN(std::vector<int> perm,
                            AlignAttrs(left.attrs(), right));
       Table negatives(left.attrs());
+      negatives.Reserve(right.size());
       for (const Tuple& row : right.rows()) {
         Tuple aligned;
         aligned.reserve(perm.size());
@@ -188,6 +195,7 @@ Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env) {
         negatives.Insert(std::move(aligned));
       }
       Table out(left.attrs());
+      out.Reserve(left.size());
       for (const Tuple& row : left.rows()) {
         if (!negatives.ContainsRow(row)) out.Insert(row);
       }
@@ -205,6 +213,7 @@ Result<Table> EvaluateRa(const RaExpr& expr, const TableEnv& env) {
         attrs[idx] = to;
       }
       Table out(std::move(attrs));
+      out.Reserve(child.size());
       for (const Tuple& row : child.rows()) out.Insert(row);
       return out;
     }

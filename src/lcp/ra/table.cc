@@ -7,18 +7,37 @@
 
 namespace lcp {
 
-int Table::AttrIndex(const std::string& attr) const {
+void Table::BuildAttrIndex() {
+  attr_index_.reserve(attrs_.size());
   for (size_t i = 0; i < attrs_.size(); ++i) {
-    if (attrs_[i] == attr) return static_cast<int>(i);
+    attr_index_.emplace(attrs_[i], static_cast<int>(i));
   }
-  return -1;
+}
+
+void Table::Reserve(size_t n) {
+  rows_.reserve(n);
+  dedup_.reserve(n);
 }
 
 bool Table::Insert(Tuple row) {
   LCP_CHECK_EQ(row.size(), attrs_.size()) << "row width mismatch";
-  if (!dedup_.insert(row).second) return false;
+  const size_t h = TupleHash()(row);
+  auto [begin, end] = dedup_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (rows_[it->second] == row) return false;
+  }
+  dedup_.emplace(h, static_cast<uint32_t>(rows_.size()));
   rows_.push_back(std::move(row));
   return true;
+}
+
+bool Table::ContainsRow(const Tuple& row) const {
+  const size_t h = TupleHash()(row);
+  auto [begin, end] = dedup_.equal_range(h);
+  for (auto it = begin; it != end; ++it) {
+    if (rows_[it->second] == row) return true;
+  }
+  return false;
 }
 
 std::string Table::ToString() const {

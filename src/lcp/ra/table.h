@@ -1,8 +1,9 @@
 #ifndef LCP_RA_TABLE_H_
 #define LCP_RA_TABLE_H_
 
+#include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "lcp/data/instance.h"
@@ -15,30 +16,47 @@ namespace lcp {
 class Table {
  public:
   Table() = default;
-  explicit Table(std::vector<std::string> attrs) : attrs_(std::move(attrs)) {}
+  explicit Table(std::vector<std::string> attrs) : attrs_(std::move(attrs)) {
+    BuildAttrIndex();
+  }
 
   const std::vector<std::string>& attrs() const { return attrs_; }
   const std::vector<Tuple>& rows() const { return rows_; }
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
-  /// Index of `attr`, or -1 if absent.
-  int AttrIndex(const std::string& attr) const;
+  /// Index of `attr` (first occurrence), or -1 if absent. O(1): the
+  /// attr → index map is built when the attribute list is set.
+  int AttrIndex(const std::string& attr) const {
+    auto it = attr_index_.find(attr);
+    return it == attr_index_.end() ? -1 : it->second;
+  }
 
-  /// Inserts a row (set semantics); returns false on duplicate.
+  /// Pre-sizes row storage and the dedup index for `n` expected rows.
+  void Reserve(size_t n);
+
+  /// Inserts a row (set semantics); returns false on duplicate. The dedup
+  /// index stores (hash, row index) pairs, not tuple copies: a duplicate
+  /// probe hashes the candidate once and compares it against the rows
+  /// already stored in `rows_`.
   bool Insert(Tuple row);
 
-  bool ContainsRow(const Tuple& row) const {
-    return dedup_.find(row) != dedup_.end();
-  }
+  bool ContainsRow(const Tuple& row) const;
 
   /// Renders an aligned ASCII table (for examples and debugging).
   std::string ToString() const;
 
  private:
+  void BuildAttrIndex();
+
   std::vector<std::string> attrs_;
+  /// First index of each attribute name (names may repeat; first one wins,
+  /// matching the historic linear scan).
+  std::unordered_map<std::string, int> attr_index_;
   std::vector<Tuple> rows_;
-  std::unordered_set<Tuple, TupleHash> dedup_;
+  /// Dedup index: tuple hash → indexes into rows_ (chained to survive hash
+  /// collisions). Holds no tuple data of its own.
+  std::unordered_multimap<size_t, uint32_t> dedup_;
 };
 
 }  // namespace lcp

@@ -1,9 +1,15 @@
 #include "lcp/runtime/executor.h"
 
 #include <algorithm>
+#include <functional>
 #include <random>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "lcp/base/check.h"
 #include "lcp/base/strings.h"
+#include "lcp/ra/batch.h"
 
 namespace lcp {
 
@@ -41,6 +47,31 @@ struct RetryState {
   std::vector<char> breaker_open;
   int64_t plan_deadline_abs = -1;
 };
+
+/// Bounded exponential backoff before the retry that follows a failed
+/// attempt number `failed_attempt` (1-based), with deterministic jitter.
+/// Charges the clock and the stats.
+void BackoffBeforeRetry(int failed_attempt, RetryState& rs) {
+  const RetryPolicy& p = rs.policy;
+  RetryStats& stats = rs.result->retry;
+  int64_t backoff = p.initial_backoff_micros;
+  for (int i = 1; i < failed_attempt && backoff < p.max_backoff_micros; ++i) {
+    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                   p.backoff_multiplier);
+  }
+  backoff = std::min(backoff, p.max_backoff_micros);
+  if (p.jitter_fraction > 0) {
+    const double unit = static_cast<double>(rs.jitter_prng() >> 11) * 0x1.0p-53;
+    backoff = static_cast<int64_t>(static_cast<double>(backoff) *
+                                   (1.0 - p.jitter_fraction * unit));
+  }
+  if (backoff > 0) {
+    rs.clock->SleepMicros(backoff);
+    stats.backoff_micros += backoff;
+  }
+  stats.backoff_schedule.push_back(backoff);
+  ++stats.retries;
+}
 
 /// One logical access (one binding) with bounded-exponential-backoff retry,
 /// circuit breaking, and deadline enforcement.
@@ -105,26 +136,58 @@ Result<AccessOutcome> AccessWithRetry(AccessSource& source,
                  " consecutive failures; last: ", last_failure.message()));
     }
     if (attempt >= p.max_attempts) return last_failure;
+    BackoffBeforeRetry(attempt, rs);
+  }
+}
 
-    // Bounded exponential backoff with deterministic jitter.
-    int64_t backoff = p.initial_backoff_micros;
-    for (int i = 1; i < attempt && backoff < p.max_backoff_micros; ++i) {
-      backoff = static_cast<int64_t>(static_cast<double>(backoff) *
-                                     p.backoff_multiplier);
+/// Continues the retry loop for a binding whose *batched* first attempt
+/// failed transiently: attempts 2..max_attempts with the usual backoff and
+/// per-attempt cancel/deadline gates. Only used on the batched dispatch
+/// path, where no breaker is armed.
+Result<AccessOutcome> ResumeRetriesAfterBatchFailure(AccessSource& source,
+                                                     AccessMethodId method,
+                                                     const Tuple& binding,
+                                                     Status last_failure,
+                                                     RetryState& rs) {
+  const RetryPolicy& p = rs.policy;
+  RetryStats& stats = rs.result->retry;
+
+  int64_t access_deadline_abs = -1;
+  if (p.access_deadline_micros >= 0) {
+    access_deadline_abs = rs.clock->NowMicros() + p.access_deadline_micros;
+  }
+
+  for (int failed_attempt = 1;; ++failed_attempt) {
+    if (failed_attempt >= p.max_attempts) return last_failure;
+    BackoffBeforeRetry(failed_attempt, rs);
+
+    const int attempt = failed_attempt + 1;
+    if (rs.cancel != nullptr && rs.cancel->cancelled()) {
+      return Status(rs.cancel->code(),
+                    StrCat("execution cancelled before attempt ", attempt,
+                           " of access to ",
+                           source.schema().access_method(method).name));
     }
-    backoff = std::min(backoff, p.max_backoff_micros);
-    if (p.jitter_fraction > 0) {
-      const double unit =
-          static_cast<double>(rs.jitter_prng() >> 11) * 0x1.0p-53;
-      backoff = static_cast<int64_t>(static_cast<double>(backoff) *
-                                     (1.0 - p.jitter_fraction * unit));
+    if (rs.plan_deadline_abs >= 0 || access_deadline_abs >= 0) {
+      const int64_t now = rs.clock->NowMicros();
+      if ((rs.plan_deadline_abs >= 0 && now >= rs.plan_deadline_abs) ||
+          (access_deadline_abs >= 0 && now >= access_deadline_abs)) {
+        ++stats.deadline_abandons;
+        return DeadlineExceededError(
+            StrCat("deadline expired before attempt ", attempt,
+                   " of access to ",
+                   source.schema().access_method(method).name));
+      }
     }
-    if (backoff > 0) {
-      rs.clock->SleepMicros(backoff);
-      stats.backoff_micros += backoff;
+
+    ++stats.attempts;
+    Result<AccessOutcome> outcome = source.TryAccess(method, binding);
+    if (outcome.ok()) return outcome;
+    if (outcome.status().code() != StatusCode::kUnavailable) {
+      return outcome.status();
     }
-    stats.backoff_schedule.push_back(backoff);
-    ++stats.retries;
+    ++stats.failures;
+    last_failure = outcome.status();
   }
 }
 
@@ -145,22 +208,120 @@ bool DegradeOrFail(const Status& failure, RetryState& rs) {
   return true;
 }
 
-/// Runs one access command; appends retrieved rows to env[output_table].
-Status RunAccess(const AccessCommand& access, const Schema& schema,
-                 AccessSource& source, TableEnv& env, RetryState& rs) {
-  const AccessMethod& method = schema.access_method(access.method);
-  const int num_inputs = static_cast<int>(method.input_positions.size());
+/// Consumes one successful binding answer: `rows` plus the truncation flag.
+using ConsumeRows = std::function<void(const std::vector<Tuple>& rows)>;
 
-  // Resolve where each input position gets its value: a column of the input
-  // expression or a constant.
-  std::vector<int> column_of(num_inputs, -1);
-  std::vector<Value> constant_of(num_inputs);
-  std::vector<bool> is_constant(num_inputs, false);
+/// Marks a truncated outcome on the execution result.
+void NoteTruncation(bool truncated, RetryState& rs) {
+  if (!truncated) return;
+  rs.result->complete = false;
+  ++rs.result->degraded_accesses;
+}
 
-  Table input_table;
-  if (access.input != nullptr) {
-    LCP_ASSIGN_OR_RETURN(input_table, EvaluateRa(*access.input, env));
+/// Runs every binding of one access command against the source and feeds
+/// each successful answer to `consume`, in binding order. This is the
+/// shared dispatch layer of both engines, so their source access sequences
+/// (and therefore seeded fault schedules) are identical by construction.
+///
+/// Fast path: one TryAccessBatch call for the whole batch of bindings;
+/// bindings whose batched first attempt failed transiently continue through
+/// the per-binding retry loop. With a circuit breaker armed, dispatch stays
+/// per-binding (sequential AccessWithRetry) so an opened breaker keeps the
+/// remaining bindings away from the source — batching an admission decision
+/// would defeat it.
+Status DispatchBindings(AccessSource& source, AccessMethodId method,
+                        const std::vector<Tuple>& bindings, RetryState& rs,
+                        const ConsumeRows& consume) {
+  if (bindings.empty()) return Status::Ok();
+
+  if (rs.policy.breaker_threshold > 0) {
+    for (const Tuple& binding : bindings) {
+      Result<AccessOutcome> outcome =
+          AccessWithRetry(source, method, binding, rs);
+      if (!outcome.ok()) {
+        if (DegradeOrFail(outcome.status(), rs)) continue;
+        return outcome.status();
+      }
+      ++rs.result->source_calls;
+      NoteTruncation(outcome->truncated, rs);
+      consume(*outcome->tuples);
+    }
+    return Status::Ok();
   }
+
+  ++rs.result->exec.access_batches;
+  rs.result->exec.access_bindings += bindings.size();
+  std::vector<BatchEntryOutcome> outcomes;
+  source.TryAccessBatch(method, bindings, outcomes);
+  LCP_CHECK_EQ(outcomes.size(), bindings.size())
+      << "TryAccessBatch must answer every binding";
+
+  RetryStats& stats = rs.result->retry;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    BatchEntryOutcome& entry = outcomes[i];
+    if (rs.cancel != nullptr && rs.cancel->cancelled()) {
+      return Status(rs.cancel->code(),
+                    StrCat("execution cancelled while consuming batched "
+                           "access to ",
+                           source.schema().access_method(method).name));
+    }
+    ++stats.attempts;
+    if (rs.plan_deadline_abs >= 0 || rs.policy.access_deadline_micros == 0) {
+      const int64_t now = rs.clock->NowMicros();
+      if ((rs.plan_deadline_abs >= 0 && now >= rs.plan_deadline_abs) ||
+          rs.policy.access_deadline_micros == 0) {
+        ++stats.deadline_abandons;
+        Status expired = DeadlineExceededError(
+            StrCat("deadline expired consuming batched access to ",
+                   source.schema().access_method(method).name));
+        if (DegradeOrFail(expired, rs)) continue;
+        return expired;
+      }
+    }
+    if (entry.status.ok()) {
+      ++rs.result->source_calls;
+      NoteTruncation(entry.truncated, rs);
+      consume(entry.Rows());
+      continue;
+    }
+    if (entry.status.code() != StatusCode::kUnavailable) {
+      // Permanent error: never retried, always aborts the plan.
+      return entry.status;
+    }
+    ++stats.failures;
+    Result<AccessOutcome> retried = ResumeRetriesAfterBatchFailure(
+        source, method, bindings[i], entry.status, rs);
+    if (!retried.ok()) {
+      if (DegradeOrFail(retried.status(), rs)) continue;
+      return retried.status();
+    }
+    ++rs.result->source_calls;
+    NoteTruncation(retried->truncated, rs);
+    consume(*retried->tuples);
+  }
+  return Status::Ok();
+}
+
+/// How each input slot of an access method gets its value: a column of the
+/// input expression's result, or a constant from the plan.
+struct AccessInputSpec {
+  int num_inputs = 0;
+  std::vector<int> column_of;
+  std::vector<Value> constant_of;
+  std::vector<bool> is_constant;
+};
+
+/// Resolves the plan's input bindings against the method signature.
+/// `attr_index` maps an input attribute name to its column (or -1).
+Result<AccessInputSpec> ResolveAccessInputs(
+    const AccessCommand& access, const AccessMethod& method,
+    const std::function<int(const std::string&)>& attr_index) {
+  AccessInputSpec spec;
+  spec.num_inputs = static_cast<int>(method.input_positions.size());
+  spec.column_of.assign(spec.num_inputs, -1);
+  spec.constant_of.assign(spec.num_inputs, Value());
+  spec.is_constant.assign(spec.num_inputs, false);
+
   for (const auto& [attr, pos] : access.input_binding) {
     auto it = std::find(method.input_positions.begin(),
                         method.input_positions.end(), pos);
@@ -170,8 +331,8 @@ Status RunAccess(const AccessCommand& access, const Schema& schema,
                                          method.name));
     }
     int slot = static_cast<int>(it - method.input_positions.begin());
-    column_of[slot] = input_table.AttrIndex(attr);
-    if (column_of[slot] < 0) {
+    spec.column_of[slot] = attr_index(attr);
+    if (spec.column_of[slot] < 0) {
       return InvalidArgumentError(
           StrCat("input attribute ", attr, " missing for ", method.name));
     }
@@ -185,39 +346,82 @@ Status RunAccess(const AccessCommand& access, const Schema& schema,
                                          method.name));
     }
     int slot = static_cast<int>(it - method.input_positions.begin());
-    is_constant[slot] = true;
-    constant_of[slot] = value;
+    spec.is_constant[slot] = true;
+    spec.constant_of[slot] = value;
   }
-  for (int slot = 0; slot < num_inputs; ++slot) {
-    if (!is_constant[slot] && column_of[slot] < 0) {
+  for (int slot = 0; slot < spec.num_inputs; ++slot) {
+    if (!spec.is_constant[slot] && spec.column_of[slot] < 0) {
       return InvalidArgumentError(
           StrCat("input position ", method.input_positions[slot], " of ",
                  method.name, " is unbound"));
     }
   }
+  return spec;
+}
 
-  // Distinct input bindings.
-  std::unordered_set<Tuple, TupleHash> bindings;
+/// The all-constant binding of an input-free access command (the paper's ∅
+/// convention), or an error if some input slot is unbound.
+Result<Tuple> ConstantOnlyBinding(const AccessInputSpec& spec,
+                                  const AccessMethod& method) {
+  Tuple binding(spec.num_inputs);
+  for (int slot = 0; slot < spec.num_inputs; ++slot) {
+    if (!spec.is_constant[slot]) {
+      return InvalidArgumentError(
+          StrCat("access to ", method.name,
+                 " has no input expression but unbound inputs"));
+    }
+    binding[slot] = spec.constant_of[slot];
+  }
+  return binding;
+}
+
+/// True iff `tuple` passes the access command's position selections.
+bool PassesPositionFilters(const AccessCommand& access, const Tuple& tuple) {
+  for (const auto& [a, b] : access.position_equalities) {
+    if (tuple[a] != tuple[b]) return false;
+  }
+  for (const auto& [pos, value] : access.position_constants) {
+    if (tuple[pos] != value) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Row-oracle engine
+// ---------------------------------------------------------------------------
+
+/// Runs one access command; appends retrieved rows to env[output_table].
+Status RunAccessRow(const AccessCommand& access, const Schema& schema,
+                    AccessSource& source, TableEnv& env, RetryState& rs) {
+  const AccessMethod& method = schema.access_method(access.method);
+
+  Table input_table;
   if (access.input != nullptr) {
+    LCP_ASSIGN_OR_RETURN(input_table, EvaluateRa(*access.input, env));
+  }
+  LCP_ASSIGN_OR_RETURN(
+      AccessInputSpec spec,
+      ResolveAccessInputs(access, method, [&](const std::string& attr) {
+        return input_table.AttrIndex(attr);
+      }));
+
+  // Distinct input bindings, in first-appearance order (the canonical
+  // binding order both engines share).
+  std::vector<Tuple> bindings;
+  if (access.input != nullptr) {
+    std::unordered_set<Tuple, TupleHash> seen;
+    seen.reserve(input_table.size());
     for (const Tuple& row : input_table.rows()) {
-      Tuple binding(num_inputs);
-      for (int slot = 0; slot < num_inputs; ++slot) {
-        binding[slot] =
-            is_constant[slot] ? constant_of[slot] : row[column_of[slot]];
+      Tuple binding(spec.num_inputs);
+      for (int slot = 0; slot < spec.num_inputs; ++slot) {
+        binding[slot] = spec.is_constant[slot] ? spec.constant_of[slot]
+                                               : row[spec.column_of[slot]];
       }
-      bindings.insert(std::move(binding));
+      if (seen.insert(binding).second) bindings.push_back(std::move(binding));
     }
   } else {
-    Tuple binding(num_inputs);
-    for (int slot = 0; slot < num_inputs; ++slot) {
-      if (!is_constant[slot]) {
-        return InvalidArgumentError(
-            StrCat("access to ", method.name,
-                   " has no input expression but unbound inputs"));
-      }
-      binding[slot] = constant_of[slot];
-    }
-    bindings.insert(std::move(binding));
+    LCP_ASSIGN_OR_RETURN(Tuple binding, ConstantOnlyBinding(spec, method));
+    bindings.push_back(std::move(binding));
   }
 
   // Output table schema.
@@ -228,51 +432,24 @@ Status RunAccess(const AccessCommand& access, const Schema& schema,
   }
   Table& out = env.emplace(access.output_table, Table(out_attrs)).first->second;
 
-  for (const Tuple& binding : bindings) {
-    Result<AccessOutcome> outcome =
-        AccessWithRetry(source, access.method, binding, rs);
-    if (!outcome.ok()) {
-      if (DegradeOrFail(outcome.status(), rs)) continue;
-      return outcome.status();
-    }
-    ++rs.result->source_calls;
-    if (outcome->truncated) {
-      rs.result->complete = false;
-      ++rs.result->degraded_accesses;
-    }
-    for (const Tuple& tuple : *outcome->tuples) {
-      bool keep = true;
-      for (const auto& [a, b] : access.position_equalities) {
-        if (tuple[a] != tuple[b]) {
-          keep = false;
-          break;
-        }
-      }
-      if (keep) {
-        for (const auto& [pos, value] : access.position_constants) {
-          if (tuple[pos] != value) {
-            keep = false;
-            break;
+  return DispatchBindings(
+      source, access.method, bindings, rs,
+      [&](const std::vector<Tuple>& rows) {
+        for (const Tuple& tuple : rows) {
+          if (!PassesPositionFilters(access, tuple)) continue;
+          Tuple row;
+          row.reserve(access.output_columns.size());
+          for (const auto& [attr, pos] : access.output_columns) {
+            row.push_back(tuple[pos]);
           }
+          out.Insert(std::move(row));
         }
-      }
-      if (!keep) continue;
-      Tuple row;
-      row.reserve(access.output_columns.size());
-      for (const auto& [attr, pos] : access.output_columns) {
-        row.push_back(tuple[pos]);
-      }
-      out.Insert(std::move(row));
-    }
-  }
-  return Status::Ok();
+      });
 }
 
-}  // namespace
-
-Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
-                                    const ExecutionOptions& options,
-                                    TableEnv* final_env) {
+Result<ExecutionResult> ExecutePlanRow(const Plan& plan, AccessSource& source,
+                                       const ExecutionOptions& options,
+                                       TableEnv* final_env) {
   ExecutionResult result;
   RetryState rs(options, source.schema(), result);
   TableEnv env;
@@ -284,7 +461,7 @@ Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
     if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
       ++result.access_commands;
       LCP_RETURN_IF_ERROR(
-          RunAccess(*access, source.schema(), source, env, rs));
+          RunAccessRow(*access, source.schema(), source, env, rs));
     } else {
       const QueryCommand& query = std::get<QueryCommand>(cmd);
       LCP_ASSIGN_OR_RETURN(Table table, EvaluateRa(*query.expr, env));
@@ -310,6 +487,201 @@ Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
   }
   if (final_env != nullptr) *final_env = std::move(env);
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized engine
+// ---------------------------------------------------------------------------
+
+/// Runs one access command against the batch environment: evaluates the
+/// input expression columnar, dedups bindings over term codes, dispatches
+/// one batch, and collects the answers as fresh dictionary-encoded columns.
+Status RunAccessVectorized(const AccessCommand& access, const Schema& schema,
+                           AccessSource& source, BatchEnv& env, TermPool& pool,
+                           RetryState& rs) {
+  const AccessMethod& method = schema.access_method(access.method);
+  ExecStats& exec = rs.result->exec;
+
+  ColumnBatch input_batch;
+  if (access.input != nullptr) {
+    LCP_ASSIGN_OR_RETURN(
+        input_batch, EvaluateRaVectorized(*access.input, env, pool, &exec));
+  }
+  LCP_ASSIGN_OR_RETURN(
+      AccessInputSpec spec,
+      ResolveAccessInputs(access, method, [&](const std::string& attr) {
+        return input_batch.AttrIndex(attr);
+      }));
+
+  // Distinct bindings, deduped over term codes (no Value hashing), decoded
+  // once per distinct binding at the source boundary.
+  std::vector<Tuple> bindings;
+  if (access.input != nullptr) {
+    std::vector<TermCode> constant_codes(spec.num_inputs, 0);
+    for (int slot = 0; slot < spec.num_inputs; ++slot) {
+      if (spec.is_constant[slot]) {
+        constant_codes[slot] = pool.Intern(spec.constant_of[slot]);
+      }
+    }
+    const size_t n = input_batch.num_rows();
+    std::vector<TermCode> key(spec.num_inputs);
+    std::vector<std::vector<TermCode>> distinct;  // kept binding code rows
+    RowHashIndex seen(n);
+    for (size_t i = 0; i < n; ++i) {
+      size_t h = 0x811c9dc5;
+      for (int slot = 0; slot < spec.num_inputs; ++slot) {
+        key[slot] = spec.is_constant[slot]
+                        ? constant_codes[slot]
+                        : input_batch.At(
+                              static_cast<size_t>(spec.column_of[slot]), i);
+        h ^= static_cast<size_t>(key[slot]) + 0x9e3779b97f4a7c15ULL;
+        h *= 0x01000193;
+      }
+      bool dup = false;
+      seen.ForEachCandidate(h, [&](uint32_t kept) {
+        dup = distinct[kept] == key;
+        return dup;
+      });
+      if (dup) continue;
+      seen.Insert(h, static_cast<uint32_t>(distinct.size()));
+      distinct.push_back(key);
+    }
+    bindings.reserve(distinct.size());
+    for (const std::vector<TermCode>& codes : distinct) {
+      Tuple binding;
+      binding.reserve(codes.size());
+      for (TermCode code : codes) binding.push_back(pool.Decode(code));
+      bindings.push_back(std::move(binding));
+    }
+  } else {
+    LCP_ASSIGN_OR_RETURN(Tuple binding, ConstantOnlyBinding(spec, method));
+    bindings.push_back(std::move(binding));
+  }
+
+  // Collect answers column-wise, encoding each kept value once.
+  std::vector<std::string> out_attrs;
+  out_attrs.reserve(access.output_columns.size());
+  for (const auto& [attr, pos] : access.output_columns) {
+    out_attrs.push_back(attr);
+  }
+  std::vector<std::vector<TermCode>> out_cols(out_attrs.size());
+  size_t out_rows = 0;
+  Status dispatched = DispatchBindings(
+      source, access.method, bindings, rs,
+      [&](const std::vector<Tuple>& rows) {
+        for (const Tuple& tuple : rows) {
+          if (!PassesPositionFilters(access, tuple)) continue;
+          for (size_t k = 0; k < access.output_columns.size(); ++k) {
+            out_cols[k].push_back(
+                pool.Intern(tuple[access.output_columns[k].second]));
+          }
+          ++out_rows;
+        }
+      });
+  LCP_RETURN_IF_ERROR(dispatched);
+
+  ColumnBatch fresh =
+      ColumnBatch::FromDense(std::move(out_attrs), std::move(out_cols),
+                             out_rows);
+  // Set semantics, appending to an existing table of the same name if the
+  // plan reuses it (mirrors the row engine's insert-into-existing-table).
+  auto it = env.find(access.output_table);
+  size_t dropped = 0;
+  if (it == env.end()) {
+    env.emplace(access.output_table, fresh.Deduplicated(&dropped));
+  } else {
+    // Existing rows first, new rows appended, first appearance wins.
+    const ColumnBatch& existing = it->second;
+    if (existing.attrs() != fresh.attrs()) {
+      return InvalidArgumentError(
+          StrCat("access output table ", access.output_table,
+                 " reused with different attributes"));
+    }
+    const size_t en = existing.num_rows();
+    const size_t fn = fresh.num_rows();
+    std::vector<std::vector<TermCode>> cols(existing.num_attrs());
+    for (size_t c = 0; c < existing.num_attrs(); ++c) {
+      cols[c].reserve(en + fn);
+      for (size_t i = 0; i < en; ++i) cols[c].push_back(existing.At(c, i));
+      for (size_t i = 0; i < fn; ++i) cols[c].push_back(fresh.At(c, i));
+    }
+    it->second = ColumnBatch::FromDense(existing.attrs(), std::move(cols),
+                                        en + fn)
+                     .Deduplicated(&dropped);
+  }
+  const ColumnBatch& stored = env.find(access.output_table)->second;
+  exec.dedup_drops += dropped;
+  ++exec.batches;
+  exec.rows_out += stored.num_rows();
+  exec.max_batch_rows = std::max(exec.max_batch_rows, stored.num_rows());
+  return Status::Ok();
+}
+
+Result<ExecutionResult> ExecutePlanVectorized(const Plan& plan,
+                                              AccessSource& source,
+                                              const ExecutionOptions& options,
+                                              TableEnv* final_env) {
+  ExecutionResult result;
+  RetryState rs(options, source.schema(), result);
+  TermPool pool;
+  BatchEnv env;
+  for (const Command& cmd : plan.commands) {
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      return Status(options.cancel->code(),
+                    "plan execution cancelled between commands");
+    }
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      ++result.access_commands;
+      LCP_RETURN_IF_ERROR(RunAccessVectorized(*access, source.schema(),
+                                              source, env, pool, rs));
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      LCP_ASSIGN_OR_RETURN(
+          ColumnBatch batch,
+          EvaluateRaVectorized(*query.expr, env, pool, &result.exec));
+      env[query.output_table] = std::move(batch);
+    }
+  }
+  auto it = env.find(plan.output_table);
+  if (it == env.end()) {
+    return InvalidArgumentError(
+        StrCat("plan output table ", plan.output_table, " never produced"));
+  }
+  if (!plan.output_attrs.empty()) {
+    LCP_ASSIGN_OR_RETURN(
+        ColumnBatch projected,
+        EvaluateRaVectorized(*RaExpr::Project(RaExpr::TempScan(
+                                                  plan.output_table),
+                                              plan.output_attrs),
+                             env, pool, &result.exec));
+    result.output = projected.ToTable(pool);
+  } else {
+    // Boolean plan: output is the nullary projection (empty vs. non-empty).
+    Table boolean{std::vector<std::string>{}};
+    if (!it->second.empty()) boolean.Insert(Tuple{});
+    result.output = std::move(boolean);
+  }
+  if (final_env != nullptr) {
+    final_env->clear();
+    for (const auto& [name, batch] : env) {
+      final_env->emplace(name, batch.ToTable(pool));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
+                                    const ExecutionOptions& options,
+                                    TableEnv* final_env) {
+  switch (options.engine) {
+    case ExecutionEngine::kRowOracle:
+      return ExecutePlanRow(plan, source, options, final_env);
+    case ExecutionEngine::kVectorized:
+      return ExecutePlanVectorized(plan, source, options, final_env);
+  }
+  return InternalError("unreachable execution engine");
 }
 
 Result<ExecutionResult> ExecutePlan(const Plan& plan, SimulatedSource& source,

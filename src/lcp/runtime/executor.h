@@ -9,6 +9,7 @@
 #include "lcp/base/result.h"
 #include "lcp/plan/plan.h"
 #include "lcp/ra/eval.h"
+#include "lcp/ra/vector_eval.h"
 #include "lcp/runtime/source.h"
 
 namespace lcp {
@@ -61,6 +62,20 @@ struct RetryStats {
   std::vector<int64_t> backoff_schedule;
 };
 
+/// Which execution engine evaluates the plan's RA expressions and drives
+/// access dispatch. Both engines implement identical semantics — same
+/// result rows in the same canonical order, same statuses, same source
+/// access sequence — which the seeded differential suite enforces
+/// (tests/exec_vectorized_test.cc).
+enum class ExecutionEngine {
+  /// Tuple-at-a-time evaluation over attribute-named row Tables. Kept as
+  /// the differential oracle for the vectorized engine.
+  kRowOracle,
+  /// Columnar batch evaluation: dictionary-encoded ColumnBatches, selection
+  /// -vector filters, build/probe hash joins, batch dedup (DESIGN.md §9).
+  kVectorized,
+};
+
 /// Execution-time knobs. Default-constructed options reproduce the historic
 /// direct path: no deadlines, no breaker, and retries that never trigger on
 /// an infallible source.
@@ -68,11 +83,15 @@ struct ExecutionOptions {
   RetryPolicy retry;
   /// Clock for deadlines and backoff waits; null = process SystemClock.
   Clock* clock = nullptr;
-  /// Cooperative cancellation: polled before every source attempt. A tripped
-  /// token aborts the plan with the token's status code (never degraded,
-  /// even in best-effort mode — cancellation means the caller no longer
-  /// wants the answer). Not owned; null = never cancelled.
+  /// Cooperative cancellation: polled before every source attempt (row
+  /// engine) or batch-entry consume and retry attempt (vectorized). A
+  /// tripped token aborts the plan with the token's status code (never
+  /// degraded, even in best-effort mode — cancellation means the caller no
+  /// longer wants the answer). Not owned; null = never cancelled.
   const CancelToken* cancel = nullptr;
+  /// Engine selection; vectorized is the default, the row engine is the
+  /// always-available oracle.
+  ExecutionEngine engine = ExecutionEngine::kVectorized;
 };
 
 /// Outcome of running a plan against a source.
@@ -91,13 +110,22 @@ struct ExecutionResult {
   /// Access bindings whose rows are missing or truncated.
   int degraded_accesses = 0;
   RetryStats retry;
+  /// Per-operator batch accounting (batches, rows in/out, probe hits,
+  /// batched access dispatches). Populated by both engines for the access
+  /// path; operator-level numbers are filled in by the vectorized engine.
+  ExecStats exec;
 };
 
 /// Executes `plan` against `source` (§2 semantics): commands run in
 /// sequence, temporary tables start empty, each access command feeds every
 /// distinct input tuple of its input expression into the method, retrying
-/// transient failures per `options.retry`. If `final_env` is non-null it
-/// receives the temporary-table environment (useful in tests).
+/// transient failures per `options.retry`. Distinct bindings are collected
+/// in first-appearance order and dispatched as one TryAccessBatch call per
+/// access command (per-binding retries continue individually); with a
+/// circuit breaker armed the executor degrades to per-binding dispatch so
+/// an opened breaker keeps later bindings away from the source. If
+/// `final_env` is non-null it receives the temporary-table environment
+/// (useful in tests).
 Result<ExecutionResult> ExecutePlan(const Plan& plan, AccessSource& source,
                                     const ExecutionOptions& options,
                                     TableEnv* final_env = nullptr);

@@ -59,4 +59,26 @@ Result<AccessOutcome> FaultInjectingSource::TryAccess(AccessMethodId method,
   return AccessOutcome{&rows, false};
 }
 
+void FaultInjectingSource::TryAccessBatch(
+    AccessMethodId method, const std::vector<Tuple>& bindings,
+    std::vector<BatchEntryOutcome>& outcomes) {
+  outcomes.reserve(outcomes.size() + bindings.size());
+  for (const Tuple& binding : bindings) {
+    BatchEntryOutcome entry;
+    Result<AccessOutcome> outcome = TryAccess(method, binding);
+    if (!outcome.ok()) {
+      entry.status = outcome.status();
+    } else if (outcome->truncated) {
+      // The truncation scratch is reused by the next access — own the copy.
+      entry.owned_rows = *outcome->tuples;
+      entry.truncated = true;
+    } else {
+      // Untruncated rows live in the base source's per-method index, which
+      // is stable for the source's lifetime.
+      entry.rows = outcome->tuples;
+    }
+    outcomes.push_back(std::move(entry));
+  }
+}
+
 }  // namespace lcp

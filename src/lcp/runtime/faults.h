@@ -73,6 +73,15 @@ class FaultInjectingSource : public AccessSource {
   Result<AccessOutcome> TryAccess(AccessMethodId method,
                                   const Tuple& inputs) override;
 
+  /// Batched access with per-binding fault accounting: one PRNG draw
+  /// sequence per binding, in binding order — exactly the draws the same
+  /// bindings would consume through sequential TryAccess calls, so seeded
+  /// fault schedules are identical across the row and vectorized engines.
+  /// Truncated answers are copied (the truncation scratch is per access);
+  /// full answers point into the stable base-source index.
+  void TryAccessBatch(AccessMethodId method, const std::vector<Tuple>& bindings,
+                      std::vector<BatchEntryOutcome>& outcomes) override;
+
   const Schema& schema() const override { return base_->schema(); }
   SimulatedSource& base() { return *base_; }
   const FaultStats& stats() const { return stats_; }

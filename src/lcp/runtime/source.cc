@@ -38,6 +38,35 @@ const std::vector<Tuple>& SimulatedSource::Access(AccessMethodId method,
   return it->second;
 }
 
+void AccessSource::TryAccessBatch(AccessMethodId method,
+                                  const std::vector<Tuple>& bindings,
+                                  std::vector<BatchEntryOutcome>& outcomes) {
+  outcomes.reserve(outcomes.size() + bindings.size());
+  for (const Tuple& binding : bindings) {
+    BatchEntryOutcome entry;
+    Result<AccessOutcome> outcome = TryAccess(method, binding);
+    if (outcome.ok()) {
+      // Copy: the next loop iteration may invalidate the pointer.
+      entry.owned_rows = *outcome->tuples;
+      entry.truncated = outcome->truncated;
+    } else {
+      entry.status = outcome.status();
+    }
+    outcomes.push_back(std::move(entry));
+  }
+}
+
+void SimulatedSource::TryAccessBatch(AccessMethodId method,
+                                     const std::vector<Tuple>& bindings,
+                                     std::vector<BatchEntryOutcome>& outcomes) {
+  outcomes.reserve(outcomes.size() + bindings.size());
+  for (const Tuple& binding : bindings) {
+    BatchEntryOutcome entry;
+    entry.rows = &Access(method, binding);
+    outcomes.push_back(std::move(entry));
+  }
+}
+
 void SimulatedSource::ResetAccounting() {
   total_calls_ = 0;
   charged_cost_ = 0;

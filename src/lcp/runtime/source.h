@@ -53,6 +53,26 @@ struct AccessOutcome {
   bool truncated = false;
 };
 
+/// Per-binding outcome of one batched access (TryAccessBatch). Unlike
+/// AccessOutcome, row storage referenced from a batch entry must stay valid
+/// until the *next batch* starts, surviving interleaved single TryAccess
+/// calls (the executor retries failed bindings while later entries are
+/// still pending). Sources whose storage cannot promise that copy into
+/// `owned_rows` instead (the default implementation always does).
+struct BatchEntryOutcome {
+  /// Ok, or the per-binding failure (kUnavailable = retryable).
+  Status status;
+  /// The retrieved rows when `status` is OK: either a pointer into
+  /// batch-stable source storage, or null with the rows in `owned_rows`.
+  const std::vector<Tuple>* rows = nullptr;
+  std::vector<Tuple> owned_rows;
+  bool truncated = false;
+
+  const std::vector<Tuple>& Rows() const {
+    return rows != nullptr ? *rows : owned_rows;
+  }
+};
+
 /// A restricted-interface data source that can fail. This is the failure
 /// vocabulary every backend shares (see DESIGN.md, "Failure semantics and
 /// budgets"): an access either yields an AccessOutcome or a Status —
@@ -66,6 +86,21 @@ class AccessSource {
   /// positions (in input-position order).
   virtual Result<AccessOutcome> TryAccess(AccessMethodId method,
                                           const Tuple& inputs) = 0;
+
+  /// Performs one access per binding in `bindings` (one restricted-
+  /// interface call per *batch* — the realistic web-form model: input sets
+  /// in, answer sets out). Appends one BatchEntryOutcome per binding, in
+  /// binding order. Per-binding failures are reported in the entry status,
+  /// never as an exceptional whole-batch failure, so fault injection and
+  /// retry accounting stay per binding.
+  ///
+  /// The default implementation loops over TryAccess and copies each
+  /// answer, so every existing source (fault wrappers included) works
+  /// unchanged; sources with batch-stable storage override it to skip the
+  /// copies.
+  virtual void TryAccessBatch(AccessMethodId method,
+                              const std::vector<Tuple>& bindings,
+                              std::vector<BatchEntryOutcome>& outcomes);
 
   virtual const Schema& schema() const = 0;
 };
@@ -93,6 +128,11 @@ class SimulatedSource : public AccessSource {
                                   const Tuple& inputs) override {
     return AccessOutcome{&Access(method, inputs), false};
   }
+
+  /// Batched access without row copies: answers point straight into the
+  /// per-method index, which is stable for the lifetime of the source.
+  void TryAccessBatch(AccessMethodId method, const std::vector<Tuple>& bindings,
+                      std::vector<BatchEntryOutcome>& outcomes) override;
 
   const Schema& schema() const override { return *schema_; }
   const Instance& instance() const { return *instance_; }

@@ -213,6 +213,8 @@ ServiceStats QueryService::SnapshotStats() const {
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.searches = searches_.load(std::memory_order_relaxed);
   s.executions = executions_.load(std::memory_order_relaxed);
+  s.access_batches = access_batches_.load(std::memory_order_relaxed);
+  s.access_bindings = access_bindings_.load(std::memory_order_relaxed);
   s.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
   s.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
@@ -419,6 +421,10 @@ QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
           response.execution = std::move(run).value();
           response.executed = true;
           executions_.fetch_add(1, std::memory_order_relaxed);
+          access_batches_.fetch_add(response.execution.exec.access_batches,
+                                    std::memory_order_relaxed);
+          access_bindings_.fetch_add(response.execution.exec.access_bindings,
+                                     std::memory_order_relaxed);
         }
       }
       response.exec_micros = clock_->NowMicros() - planned;

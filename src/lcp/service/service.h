@@ -66,7 +66,10 @@ struct ServiceOptions {
   /// disabled on the search template (unsupported under parallel search).
   int planner_parallelism = 1;
   /// Template for every execution. Its `clock` is overridden by `clock`
-  /// below when null.
+  /// below when null. `execution.engine` selects the execution engine for
+  /// all requests: kVectorized (columnar batches, the default) or
+  /// kRowOracle (tuple-at-a-time differential oracle) — both are
+  /// bit-identical in results and statuses, so the knob only trades speed.
   ExecutionOptions execution;
   /// Per-request planning budget on `clock`; -1 = unlimited. A request that
   /// exhausts it still returns the best plan found so far (anytime), or
@@ -153,6 +156,11 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t searches = 0;       ///< Proof searches actually run.
   uint64_t executions = 0;
+  /// Batched-dispatch totals across executions (vectorized and row engines
+  /// both dispatch accesses in batches): TryAccessBatch calls issued and
+  /// bindings carried by them.
+  uint64_t access_batches = 0;
+  uint64_t access_bindings = 0;
   uint64_t epoch_bumps = 0;
   uint64_t queue_depth_high_water = 0;  ///< Deepest queue ever observed.
   /// Totals for deriving means; on the service clock.
@@ -333,6 +341,8 @@ class QueryService {
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> searches_{0};
   std::atomic<uint64_t> executions_{0};
+  std::atomic<uint64_t> access_batches_{0};
+  std::atomic<uint64_t> access_bindings_{0};
   std::atomic<uint64_t> epoch_bumps_{0};
   std::atomic<uint64_t> queue_depth_high_water_{0};
   std::atomic<int64_t> queue_micros_{0};
