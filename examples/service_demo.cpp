@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "lcp/accessible/accessible_schema.h"
+#include "lcp/runtime/faults.h"
 #include "lcp/runtime/source.h"
 #include "lcp/schema/parser.h"
 #include "lcp/service/service.h"
@@ -116,5 +117,70 @@ int main() {
             << stats.cache_hits << " cache hits (hit rate "
             << stats.CacheHitRate() << "), queue high-water "
             << stats.queue_depth_high_water << "\n";
+
+  // --- 6. Source health: outage -> failover -> probe -> recovery. ---------
+  // A relation with a cheap primary method and an expensive fallback; the
+  // primary suffers a scheduled outage on a virtual clock. The service
+  // quarantines the dead method, re-plans around it in-request (responses
+  // are marked degraded: exact answers, pricier plan), probes it when the
+  // quarantine window expires, and restores the cheap plan after the heal.
+  Schema schema2;
+  RelationId rel = schema2.AddRelation("R", 2).value();
+  AccessMethodId fast = schema2.AddAccessMethod("mt_fast", rel, {}, 1.0).value();
+  schema2.AddAccessMethod("mt_slow", rel, {}, 20.0).value();
+  Instance data2(&schema2);
+  for (int i = 0; i < 3; ++i) {
+    data2.AddFact("R", {Value::Int(i), Value::Int(i * 10)});
+  }
+  AccessibleSchema accessible2 =
+      AccessibleSchema::Build(schema2, AccessibleVariant::kStandard).value();
+  SimpleCostFunction cost2(&schema2);
+
+  SharedVirtualClock vclock;
+  SimulatedSource base2(&schema2, &data2);  // one worker => one factory call
+  ServiceOptions failover_options;
+  failover_options.num_workers = 1;
+  failover_options.clock = &vclock;
+  failover_options.execution.retry.max_attempts = 1;
+  failover_options.health.quarantine_after_consecutive = 1;
+  failover_options.health.quarantine_micros = 50000;
+  QueryService failover_service(
+      &accessible2, &cost2,
+      [&] {
+        auto source = std::make_unique<FaultInjectingSource>(
+            &base2, FaultProfile{}, /*seed=*/1, &vclock);
+        source->FailFrom(fast, 10000);    // outage begins at t=10ms
+        source->RecoverAt(fast, 100000);  // source heals at t=100ms
+        return source;
+      },
+      failover_options);
+
+  QueryRequest redundant;
+  redundant.query = ParseQuery(schema2, "Q(x, y) :- R(x, y)").value();
+  auto show = [&](const char* label) {
+    QueryResponse response = failover_service.Call(redundant);
+    std::cout << label << " -> " << response.status.ToString()
+              << ", plan cost " << (response.plan ? response.plan->cost : 0.0)
+              << (response.failed_over ? " [failed over]" : "")
+              << (response.degraded ? " [degraded]" : "") << "\n";
+  };
+  std::cout << "\n--- source health and failover (virtual time) ---\n";
+  show("healthy       ");
+  vclock.Advance(10000);  // into the outage
+  show("during outage ");
+  vclock.Advance(50000);  // quarantine window expires; probe fails
+  show("probe fails   ");
+  vclock.Advance(100000);  // past the heal and the backed-off window
+  show("after recovery");
+
+  ServiceStats fstats = failover_service.SnapshotStats();
+  std::cout << "failover stats: " << fstats.failovers << " failovers, "
+            << fstats.degraded_responses << " degraded responses, "
+            << fstats.quarantines << " quarantines, " << fstats.probes_sent
+            << " probes (" << fstats.probes_failed << " failed, "
+            << fstats.recoveries << " recovered), "
+            << fstats.methods_quarantined
+            << " currently quarantined, availability epoch "
+            << fstats.availability_epoch << "\n";
   return 0;
 }

@@ -46,6 +46,15 @@ struct SearchOptions {
   bool keep_all_plans = false;
   /// Hard cap on created search nodes.
   int max_nodes = 100000;
+  /// Access methods the search must not use: candidates over these methods
+  /// are dropped at enumeration time, in both the sequential and parallel
+  /// drivers, so no returned plan ever contains an excluded method. This is
+  /// the planner half of source-health failover (DESIGN.md §10): the
+  /// serving layer passes the quarantined-method mask here and proof search
+  /// re-routes through live alternatives — the paper's many-sound-plans
+  /// property is exactly what makes such detours exist. Unknown ids are
+  /// ignored; excluding every method of a needed relation yields kNotFound.
+  std::vector<AccessMethodId> excluded_methods;
   /// Chase control for the root closure (original constraints, §5 "Original
   /// Schema Reasoning First") and the per-node closures (inferred
   /// accessible copies, "Fire Inferred Accessible Rules Immediately").

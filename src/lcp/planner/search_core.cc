@@ -57,10 +57,20 @@ Result<SearchNode> SearchCore::InitRoot(ChaseEngine& engine,
 
   // Global candidate list: every (base fact, method-on-its-relation) pair,
   // ordered by derivation depth (fact insertion index) then method cost.
+  // Methods on the exclusion mask (quarantined by the source-health
+  // registry) never become candidates, so every plan read off a proof is
+  // guaranteed to route around them — in both drivers, which share this
+  // enumeration.
+  std::vector<char> excluded(
+      static_cast<size_t>(acc_.base().num_access_methods()), 0);
+  for (AccessMethodId m : options_.excluded_methods) {
+    if (m >= 0 && static_cast<size_t>(m) < excluded.size()) excluded[m] = 1;
+  }
   for (int i = 0; i < static_cast<int>(root.config.facts().size()); ++i) {
     const Fact& fact = root.config.facts()[i];
     if (acc_.KindOf(fact.relation) != AccessibleRelationKind::kBase) continue;
     for (AccessMethodId m : acc_.base().MethodsOnRelation(fact.relation)) {
+      if (excluded[m]) continue;
       all_candidates_.push_back(Candidate{i, m});
     }
   }

@@ -27,6 +27,7 @@ struct RetryState {
         clock(options.clock != nullptr ? options.clock
                                        : SystemClock::Instance()),
         cancel(options.cancel),
+        health(options.health),
         jitter_prng(options.retry.jitter_seed),
         result(&result) {
     if (policy.breaker_threshold > 0) {
@@ -41,6 +42,7 @@ struct RetryState {
   const RetryPolicy& policy;
   Clock* clock;
   const CancelToken* cancel;
+  SourceHealthRegistry* health;
   std::mt19937_64 jitter_prng;
   ExecutionResult* result;
   std::vector<int> consecutive_failures;
@@ -218,6 +220,20 @@ void NoteTruncation(bool truncated, RetryState& rs) {
   ++rs.result->degraded_accesses;
 }
 
+/// Feeds the final outcome of one binding to the source-health registry
+/// (when tracking is on). Only kUnavailable counts as a source failure —
+/// deadline expiries and cancellations are caller-side verdicts; permanent
+/// errors (bad arity etc.) are plan bugs, not source sickness.
+void ReportBindingOutcome(AccessMethodId method, const Tuple& binding,
+                          const Status& final_status, RetryState& rs) {
+  if (rs.health == nullptr) return;
+  if (final_status.ok()) {
+    rs.health->RecordSuccess(method);
+  } else if (final_status.code() == StatusCode::kUnavailable) {
+    rs.health->RecordFailure(method, binding);
+  }
+}
+
 /// Runs every binding of one access command against the source and feeds
 /// each successful answer to `consume`, in binding order. This is the
 /// shared dispatch layer of both engines, so their source access sequences
@@ -238,6 +254,7 @@ Status DispatchBindings(AccessSource& source, AccessMethodId method,
     for (const Tuple& binding : bindings) {
       Result<AccessOutcome> outcome =
           AccessWithRetry(source, method, binding, rs);
+      ReportBindingOutcome(method, binding, outcome.status(), rs);
       if (!outcome.ok()) {
         if (DegradeOrFail(outcome.status(), rs)) continue;
         return outcome.status();
@@ -279,6 +296,7 @@ Status DispatchBindings(AccessSource& source, AccessMethodId method,
       }
     }
     if (entry.status.ok()) {
+      ReportBindingOutcome(method, bindings[i], entry.status, rs);
       ++rs.result->source_calls;
       NoteTruncation(entry.truncated, rs);
       consume(entry.Rows());
@@ -291,6 +309,7 @@ Status DispatchBindings(AccessSource& source, AccessMethodId method,
     ++stats.failures;
     Result<AccessOutcome> retried = ResumeRetriesAfterBatchFailure(
         source, method, bindings[i], entry.status, rs);
+    ReportBindingOutcome(method, bindings[i], retried.status(), rs);
     if (!retried.ok()) {
       if (DegradeOrFail(retried.status(), rs)) continue;
       return retried.status();

@@ -10,6 +10,7 @@
 #include "lcp/plan/plan.h"
 #include "lcp/ra/eval.h"
 #include "lcp/ra/vector_eval.h"
+#include "lcp/runtime/health.h"
 #include "lcp/runtime/source.h"
 
 namespace lcp {
@@ -92,6 +93,14 @@ struct ExecutionOptions {
   /// Engine selection; vectorized is the default, the row engine is the
   /// always-available oracle.
   ExecutionEngine engine = ExecutionEngine::kVectorized;
+  /// Source-health feedback (DESIGN.md §10): when set, the executor reports
+  /// the *final* outcome of every access binding — success, or failure after
+  /// retry exhaustion / breaker trip / open-breaker short-circuit / failed
+  /// batch entry — so the registry's EWMA and quarantine state machine run
+  /// off real executor observations. Deadline expiries and cancellations are
+  /// not reported: they say the caller ran out of patience, not that the
+  /// source is sick. Not owned; null = no tracking (the historic default).
+  SourceHealthRegistry* health = nullptr;
 };
 
 /// Outcome of running a plan against a source.

@@ -32,11 +32,18 @@ Result<AccessOutcome> FaultInjectingSource::TryAccess(AccessMethodId method,
     stats_.simulated_latency_micros += latency;
   }
 
-  if (profile_.permanent_outages.count(method) > 0) {
+  // The clock is read only when a schedule exists: the unscheduled path
+  // keeps its historic draw-and-sleep sequence byte-identical (an extra
+  // NowMicros would advance auto-advancing virtual clocks).
+  const bool scheduled = !fail_from_.empty() || !recover_at_.empty();
+  const int64_t now = scheduled ? clock_->NowMicros() : 0;
+  const bool outage = scheduled ? OutageActive(method, now)
+                                : profile_.permanent_outages.count(method) > 0;
+  if (outage) {
     ++stats_.outage_rejections;
     return UnavailableError(
         StrCat("method ", base_->schema().access_method(method).name,
-               " is in permanent outage"));
+               " is in outage"));
   }
   if (faults.transient_failure_rate > 0 &&
       NextUnit() < faults.transient_failure_rate) {
@@ -57,6 +64,24 @@ Result<AccessOutcome> FaultInjectingSource::TryAccess(AccessMethodId method,
     return AccessOutcome{&truncated_scratch_, true};
   }
   return AccessOutcome{&rows, false};
+}
+
+void FaultInjectingSource::FailFrom(AccessMethodId method, int64_t at_micros) {
+  fail_from_[method] = at_micros;
+}
+
+void FaultInjectingSource::RecoverAt(AccessMethodId method,
+                                     int64_t at_micros) {
+  recover_at_[method] = at_micros;
+}
+
+bool FaultInjectingSource::OutageActive(AccessMethodId method,
+                                        int64_t now) const {
+  auto recover = recover_at_.find(method);
+  if (recover != recover_at_.end() && now >= recover->second) return false;
+  if (profile_.permanent_outages.count(method) > 0) return true;
+  auto fail = fail_from_.find(method);
+  return fail != fail_from_.end() && now >= fail->second;
 }
 
 void FaultInjectingSource::TryAccessBatch(

@@ -87,6 +87,22 @@ class FaultInjectingSource : public AccessSource {
   const FaultStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FaultStats{}; }
 
+  // --- outage schedule -----------------------------------------------------
+  // Deterministic mid-run outages on the pluggable clock: an outage can
+  // begin at a scheduled instant (FailFrom) and a permanent outage — whether
+  // scheduled or listed in FaultProfile::permanent_outages — can heal at one
+  // (RecoverAt). With a virtual clock this makes the quarantine / recovery-
+  // probe cycle of the source-health registry fully deterministic: the
+  // driver advances time past the boundary and the next access observes it.
+
+  /// Every access to `method` at clock time >= `at_micros` fails with
+  /// kUnavailable (until a scheduled recovery, if any).
+  void FailFrom(AccessMethodId method, int64_t at_micros);
+
+  /// Accesses to `method` at clock time >= `at_micros` stop failing from the
+  /// outage (profile-listed or scheduled). Transient faults still apply.
+  void RecoverAt(AccessMethodId method, int64_t at_micros);
+
  private:
   /// Uniform double in [0, 1) from the top 53 bits of the PRNG — avoids
   /// std::uniform_real_distribution, whose draw sequence is not pinned down
@@ -95,12 +111,18 @@ class FaultInjectingSource : public AccessSource {
     return static_cast<double>(prng_() >> 11) * 0x1.0p-53;
   }
 
+  /// True iff `method` is in outage at clock time `now`, honoring the
+  /// schedule above.
+  bool OutageActive(AccessMethodId method, int64_t now) const;
+
   SimulatedSource* base_;
   FaultProfile profile_;
   std::mt19937_64 prng_;
   Clock* clock_;
   FaultStats stats_;
   std::vector<Tuple> truncated_scratch_;
+  std::unordered_map<AccessMethodId, int64_t> fail_from_;
+  std::unordered_map<AccessMethodId, int64_t> recover_at_;
 };
 
 }  // namespace lcp

@@ -59,9 +59,9 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
 
 std::shared_ptr<const CachedPlan> PlanCache::Insert(
     const QueryFingerprint& fingerprint, uint64_t epoch, Plan plan,
-    double cost) {
+    double cost, bool detour) {
   auto entry = std::make_shared<const CachedPlan>(
-      CachedPlan{fingerprint, epoch, std::move(plan), cost});
+      CachedPlan{fingerprint, epoch, std::move(plan), cost, detour});
   Shard& shard = ShardFor(fingerprint);
   uint64_t evicted = 0;
   std::shared_ptr<const CachedPlan> resident;

@@ -20,9 +20,20 @@ namespace lcp {
 /// was concurrently evicted or superseded.
 struct CachedPlan {
   QueryFingerprint fingerprint;
+  /// The epoch the plan was admitted under. The service keys entries by a
+  /// *combined* epoch — schema epoch in the high bits, source-availability
+  /// epoch in the low bits (DESIGN.md §10) — so either a schema change or a
+  /// quarantine/recovery transition makes the entry unreachable. Raw-epoch
+  /// callers (tests, direct users) are unaffected: the cache only compares
+  /// epochs for equality and order.
   uint64_t epoch = 0;
   Plan plan;
   double cost = 0;
+  /// True when the plan was produced with a non-empty excluded-method mask —
+  /// a failover detour around quarantined sources. Responses served from it
+  /// are marked degraded: a cheaper primary plan may exist once the outage
+  /// heals (the epoch bump on recovery makes this entry unreachable then).
+  bool detour = false;
 };
 
 /// Point-in-time counter snapshot. All counters are cumulative since
@@ -80,10 +91,11 @@ class PlanCache {
 
   /// Inserts `plan` under (fingerprint, epoch), evicting the shard's LRU
   /// entry if at capacity. Returns the resident entry for the key after the
-  /// call: the new plan, or the kept cheaper same-epoch incumbent.
+  /// call: the new plan, or the kept cheaper same-epoch incumbent. `detour`
+  /// marks a failover plan (see CachedPlan::detour).
   std::shared_ptr<const CachedPlan> Insert(const QueryFingerprint& fingerprint,
                                            uint64_t epoch, Plan plan,
-                                           double cost);
+                                           double cost, bool detour = false);
 
   /// Drops every entry whose epoch is strictly below `epoch`. O(size); call
   /// after a schema change if stale entries should release memory eagerly

@@ -8,6 +8,19 @@
 
 namespace lcp {
 
+namespace {
+
+/// Cache entries are keyed by a combined epoch: schema epoch in the high
+/// bits, source-availability epoch in the low bits (DESIGN.md §10). The
+/// schema epoch advances a handful of times per process lifetime and the
+/// availability epoch once per quarantine/recovery transition, so 32 bits
+/// each is comfortable headroom.
+constexpr int kAvailabilityEpochBits = 32;
+constexpr uint64_t kAvailabilityEpochMask =
+    (uint64_t{1} << kAvailabilityEpochBits) - 1;
+
+}  // namespace
+
 QueryService::Job::~Job() {
   if (resolved) return;
   // Backstop for the lifecycle invariant "every submitted future resolves
@@ -53,6 +66,13 @@ QueryService::QueryService(const AccessibleSchema* accessible,
     // Unsupported under parallel search; dropping it here beats failing
     // every request with kInvalidArgument.
     options_.search.collect_exploration_log = false;
+  }
+  if (options_.failover_enabled && source_factory_ != nullptr) {
+    // Plan-only services get no registry: with no executor feedback there is
+    // nothing to learn and no probe to send.
+    if (options_.health.clock == nullptr) options_.health.clock = clock_;
+    health_ = std::make_unique<SourceHealthRegistry>(&accessible_->base(),
+                                                     options_.health);
   }
   int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
   workers_.reserve(workers);
@@ -188,7 +208,10 @@ uint64_t QueryService::RefreshSchema() {
     uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
     epoch_.store(next, std::memory_order_release);
     epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
-    cache_.EvictBelowEpoch(next);
+    // Entries are keyed by the combined serving epoch, whose high bits are
+    // the schema epoch: everything below the new schema epoch's band is
+    // stale regardless of availability epoch.
+    cache_.EvictBelowEpoch(next << kAvailabilityEpochBits);
   }
   return epoch_.load(std::memory_order_relaxed);
 }
@@ -198,8 +221,15 @@ uint64_t QueryService::BumpEpoch() {
   uint64_t next = epoch_.load(std::memory_order_relaxed) + 1;
   epoch_.store(next, std::memory_order_release);
   epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
-  cache_.EvictBelowEpoch(next);
+  cache_.EvictBelowEpoch(next << kAvailabilityEpochBits);
   return next;
+}
+
+uint64_t QueryService::ServingEpoch(uint64_t schema_epoch) const {
+  const uint64_t avail =
+      health_ != nullptr ? health_->availability_epoch() : 0;
+  return (schema_epoch << kAvailabilityEpochBits) |
+         (avail & kAvailabilityEpochMask);
 }
 
 ServiceStats QueryService::SnapshotStats() const {
@@ -218,6 +248,17 @@ ServiceStats QueryService::SnapshotStats() const {
   s.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
   s.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
+  s.failovers = failovers_.load(std::memory_order_relaxed);
+  s.degraded_responses = degraded_responses_.load(std::memory_order_relaxed);
+  if (health_ != nullptr) {
+    const HealthStats health = health_->stats();
+    s.quarantines = health.quarantines;
+    s.probes_sent = health.probes_sent;
+    s.probes_failed = health.probes_failed;
+    s.recoveries = health.recoveries;
+    s.methods_quarantined = health_->NumQuarantined();
+    s.availability_epoch = health_->availability_epoch();
+  }
   s.queue_micros = queue_micros_.load(std::memory_order_relaxed);
   s.plan_micros = plan_micros_.load(std::memory_order_relaxed);
   s.exec_micros = exec_micros_.load(std::memory_order_relaxed);
@@ -309,6 +350,97 @@ void QueryService::WorkerLoop() {
   }
 }
 
+void QueryService::RunDueProbes(AccessSource& source) {
+  for (const SourceHealthRegistry::Probe& probe : health_->TakeDueProbes()) {
+    // Replay the last binding that actually failed on the method (half-open
+    // semantics: the registry admits one probe per expired window). Success
+    // re-admits the method and bumps the availability epoch; failure re-arms
+    // the quarantine with a backed-off window.
+    Result<AccessOutcome> outcome =
+        source.TryAccess(probe.method, probe.binding);
+    if (outcome.ok()) {
+      health_->RecordSuccess(probe.method);
+    } else {
+      health_->RecordFailure(probe.method, probe.binding);
+    }
+  }
+}
+
+std::shared_ptr<const CachedPlan> QueryService::PlanAndCache(
+    const Job& job, const QueryFingerprint& fingerprint,
+    uint64_t serving_epoch, bool allow_primary_fallback,
+    QueryResponse& response) {
+  const QueryRequest& request = job.request;
+  std::vector<AccessMethodId> excluded;
+  if (health_ != nullptr) excluded = health_->ExcludedMethods();
+  bool detour = !excluded.empty();
+  for (;;) {
+    searches_.fetch_add(1, std::memory_order_relaxed);
+    SearchOptions search_options = options_.search;
+    if (detour) search_options.excluded_methods = excluded;
+    Budget budget;
+    budget.set_cancel_token(job.cancel.get());
+    // The planning budget is the smaller of the configured per-request
+    // budget and the time remaining under the end-to-end deadline: queue
+    // wait (and, on a failover re-plan, the failed execution) has already
+    // been charged against the request.
+    int64_t budget_micros = request.planning_budget_micros >= 0
+                                ? request.planning_budget_micros
+                                : options_.planning_budget_micros;
+    if (job.deadline_at >= 0) {
+      const int64_t remaining =
+          std::max<int64_t>(job.deadline_at - clock_->NowMicros(), 0);
+      budget_micros = budget_micros < 0 ? remaining
+                                        : std::min(budget_micros, remaining);
+    }
+    if (budget_micros >= 0) budget.SetDeadline(clock_, budget_micros);
+    response.planning_budget_micros = budget_micros;
+    search_options.budget = &budget;
+    Result<SearchOutcome> outcome = search_.Run(request.query, search_options);
+    if (job.cancel != nullptr && job.cancel->cancelled()) {
+      // Cancelled mid-planning: discard any best-so-far plan — the caller
+      // no longer wants it, and a truncated search must not poison the
+      // cache.
+      response.status =
+          Status(job.cancel->code(), "request cancelled during planning");
+      return nullptr;
+    }
+    if (!outcome.ok()) {
+      response.status = outcome.status();
+      return nullptr;
+    }
+    if (!outcome->best.has_value()) {
+      if (detour && allow_primary_fallback && outcome->exhaustion.ok()) {
+        // Provably no plan avoids the quarantined methods. Re-plan over the
+        // full method set: the primary plan fails with an honest
+        // kUnavailable at execution instead of a misleading kNotFound, and
+        // keeps failing fast from the cache until a probe heals the outage.
+        detour = false;
+        continue;
+      }
+      // Distinguish "provably no plan" from "budget ran out first".
+      response.status = outcome->exhaustion.ok()
+                            ? NotFoundError(StrCat(
+                                  "no plan with at most ",
+                                  search_options.max_access_commands,
+                                  " access commands answers ",
+                                  request.query.name))
+                            : outcome->exhaustion;
+      return nullptr;
+    }
+    if (options_.cache_enabled) {
+      // Offered even for skip_cache requests: a freshly planned result can
+      // still serve future hits. Cost-aware admission keeps the cheapest.
+      return cache_.Insert(fingerprint, serving_epoch,
+                           std::move(outcome->best->plan),
+                           outcome->best->cost, detour);
+    }
+    return std::make_shared<const CachedPlan>(
+        CachedPlan{fingerprint, serving_epoch, std::move(outcome->best->plan),
+                   outcome->best->cost, detour});
+  }
+}
+
 QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
   const QueryRequest& request = job.request;
   QueryResponse response;
@@ -324,65 +456,28 @@ QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
         Status(job.cancel->code(), "request abandoned before planning began");
   }
 
+  // Recovery probes run before the epoch-keyed cache lookup, so this very
+  // request already plans against the post-probe availability mask (a healed
+  // method's cheap plan wins immediately). The lock-free gauge keeps the
+  // healthy path at one relaxed load.
+  if (response.status.ok() && health_ != nullptr && source != nullptr &&
+      health_->NumQuarantined() > 0) {
+    RunDueProbes(*source);
+  }
+  uint64_t serving_epoch = ServingEpoch(epoch);
+
   std::shared_ptr<const CachedPlan> plan;
+  QueryFingerprint fingerprint;
+  const bool lookup_cache = options_.cache_enabled && !request.skip_cache;
   if (response.status.ok()) {
-    QueryFingerprint fingerprint = CanonicalizeQuery(request.query);
-    const bool lookup_cache = options_.cache_enabled && !request.skip_cache;
-    if (lookup_cache) plan = cache_.Lookup(fingerprint, epoch);
+    fingerprint = CanonicalizeQuery(request.query);
+    if (lookup_cache) plan = cache_.Lookup(fingerprint, serving_epoch);
     if (plan != nullptr) {
       response.cache_hit = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      searches_.fetch_add(1, std::memory_order_relaxed);
-      SearchOptions search_options = options_.search;
-      Budget budget;
-      budget.set_cancel_token(job.cancel.get());
-      // The planning budget is the smaller of the configured per-request
-      // budget and the time remaining under the end-to-end deadline: queue
-      // wait has already been charged against the request.
-      int64_t budget_micros = request.planning_budget_micros >= 0
-                                  ? request.planning_budget_micros
-                                  : options_.planning_budget_micros;
-      if (job.deadline_at >= 0) {
-        const int64_t remaining =
-            std::max<int64_t>(job.deadline_at - start, 0);
-        budget_micros = budget_micros < 0
-                            ? remaining
-                            : std::min(budget_micros, remaining);
-      }
-      if (budget_micros >= 0) budget.SetDeadline(clock_, budget_micros);
-      response.planning_budget_micros = budget_micros;
-      search_options.budget = &budget;
-      Result<SearchOutcome> outcome =
-          search_.Run(request.query, search_options);
-      if (job.cancel != nullptr && job.cancel->cancelled()) {
-        // Cancelled mid-planning: discard any best-so-far plan — the caller
-        // no longer wants it, and a truncated search must not poison the
-        // cache.
-        response.status =
-            Status(job.cancel->code(), "request cancelled during planning");
-      } else if (!outcome.ok()) {
-        response.status = outcome.status();
-      } else if (!outcome->best.has_value()) {
-        // Distinguish "provably no plan" from "budget ran out first".
-        response.status = outcome->exhaustion.ok()
-                              ? NotFoundError(StrCat(
-                                    "no plan with at most ",
-                                    search_options.max_access_commands,
-                                    " access commands answers ",
-                                    request.query.name))
-                              : outcome->exhaustion;
-      } else if (options_.cache_enabled) {
-        // Offered even for skip_cache requests: a freshly planned result can
-        // still serve future hits. Cost-aware admission keeps the cheapest.
-        plan = cache_.Insert(fingerprint, epoch,
-                             std::move(outcome->best->plan),
-                             outcome->best->cost);
-      } else {
-        plan = std::make_shared<const CachedPlan>(
-            CachedPlan{std::move(fingerprint), epoch,
-                       std::move(outcome->best->plan), outcome->best->cost});
-      }
+      plan = PlanAndCache(job, fingerprint, serving_epoch,
+                          /*allow_primary_fallback=*/true, response);
     }
   }
   const int64_t planned = clock_->NowMicros();
@@ -395,40 +490,84 @@ QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
         response.status = FailedPreconditionError(
             "execute requested but the service has no source factory");
       } else {
-        ExecutionOptions exec_options = options_.execution;
-        if (exec_options.clock == nullptr) exec_options.clock = clock_;
-        exec_options.cancel = job.cancel.get();
-        if (job.deadline_at >= 0) {
-          // Execution gets only what the end-to-end deadline has left.
-          const int64_t remaining =
-              std::max<int64_t>(job.deadline_at - planned, 0);
-          int64_t& plan_deadline = exec_options.retry.plan_deadline_micros;
-          plan_deadline = plan_deadline < 0
-                              ? remaining
-                              : std::min(plan_deadline, remaining);
-        }
-        Result<ExecutionResult> run =
-            ExecutePlan(plan->plan, *source, exec_options);
-        if (job.cancel != nullptr && job.cancel->cancelled()) {
-          // Cancelled mid-execution: even if the plan happened to finish,
-          // the caller no longer wants the answer — report the token's
-          // status so cancellation is observable deterministically.
-          response.status =
-              Status(job.cancel->code(), "request cancelled during execution");
-        } else if (!run.ok()) {
-          response.status = run.status();
-        } else {
-          response.execution = std::move(run).value();
-          response.executed = true;
-          executions_.fetch_add(1, std::memory_order_relaxed);
-          access_batches_.fetch_add(response.execution.exec.access_batches,
-                                    std::memory_order_relaxed);
-          access_bindings_.fetch_add(response.execution.exec.access_bindings,
-                                     std::memory_order_relaxed);
+        for (int attempt = 0;; ++attempt) {
+          ExecutionOptions exec_options = options_.execution;
+          if (exec_options.clock == nullptr) exec_options.clock = clock_;
+          exec_options.cancel = job.cancel.get();
+          if (health_ != nullptr) exec_options.health = health_.get();
+          if (job.deadline_at >= 0) {
+            // Execution gets only what the end-to-end deadline has left.
+            const int64_t remaining =
+                std::max<int64_t>(job.deadline_at - clock_->NowMicros(), 0);
+            int64_t& plan_deadline = exec_options.retry.plan_deadline_micros;
+            plan_deadline = plan_deadline < 0
+                                ? remaining
+                                : std::min(plan_deadline, remaining);
+          }
+          Result<ExecutionResult> run =
+              ExecutePlan(plan->plan, *source, exec_options);
+          if (job.cancel != nullptr && job.cancel->cancelled()) {
+            // Cancelled mid-execution: even if the plan happened to finish,
+            // the caller no longer wants the answer — report the token's
+            // status so cancellation is observable deterministically.
+            response.status = Status(job.cancel->code(),
+                                     "request cancelled during execution");
+            break;
+          }
+          if (run.ok()) {
+            response.execution = std::move(run).value();
+            response.executed = true;
+            executions_.fetch_add(1, std::memory_order_relaxed);
+            access_batches_.fetch_add(response.execution.exec.access_batches,
+                                      std::memory_order_relaxed);
+            access_bindings_.fetch_add(response.execution.exec.access_bindings,
+                                       std::memory_order_relaxed);
+            break;
+          }
+          // Failover (DESIGN.md §10): at most one in-request re-plan, only
+          // for kUnavailable, and only when the failed execution actually
+          // changed the availability mask (the executor's health feedback
+          // quarantined something) — under an unchanged mask a re-plan would
+          // rebuild the same plan.
+          if (attempt > 0 || health_ == nullptr ||
+              run.status().code() != StatusCode::kUnavailable ||
+              ServingEpoch(epoch) == serving_epoch) {
+            response.status = run.status();
+            break;
+          }
+          const Status primary_failure = run.status();
+          serving_epoch = ServingEpoch(epoch);
+          failovers_.fetch_add(1, std::memory_order_relaxed);
+          response.failed_over = true;
+          std::shared_ptr<const CachedPlan> fallback;
+          if (lookup_cache) fallback = cache_.Lookup(fingerprint, serving_epoch);
+          if (fallback == nullptr) {
+            fallback = PlanAndCache(job, fingerprint, serving_epoch,
+                                    /*allow_primary_fallback=*/false, response);
+          }
+          if (fallback == nullptr) {
+            // No detour exists: the original execution failure is the honest
+            // answer (a re-plan kNotFound would read as "the query has no
+            // plan"). Cancellation and budget expiry keep their own codes.
+            if (response.status.code() == StatusCode::kNotFound) {
+              response.status = primary_failure;
+            }
+            break;
+          }
+          plan = fallback;
+          response.plan = plan;
         }
       }
       response.exec_micros = clock_->NowMicros() - planned;
     }
+  }
+
+  // A detour plan answers exactly, just possibly at higher cost than the
+  // quarantined primary — mark the response so callers and stats can see it.
+  if (response.status.ok() && response.plan != nullptr &&
+      response.plan->detour) {
+    response.degraded = true;
+    degraded_responses_.fetch_add(1, std::memory_order_relaxed);
   }
 
   completed_.fetch_add(1, std::memory_order_relaxed);

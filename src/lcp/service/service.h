@@ -21,6 +21,7 @@
 #include "lcp/plan/cost.h"
 #include "lcp/planner/proof_search.h"
 #include "lcp/runtime/executor.h"
+#include "lcp/runtime/health.h"
 #include "lcp/service/plan_cache.h"
 
 namespace lcp {
@@ -86,6 +87,17 @@ struct ServiceOptions {
   /// Clock for latency accounting, budgets, and execution backoff;
   /// null = process SystemClock.
   Clock* clock = nullptr;
+  /// Source-health tracking and alternate-plan failover (DESIGN.md §10).
+  /// When true (and the service executes — a source factory was given), the
+  /// service maintains a SourceHealthRegistry fed by executor outcomes,
+  /// plans around quarantined access methods, re-plans once in-request when
+  /// an execution fails with kUnavailable, and replays recovery probes when
+  /// quarantine windows expire. False = the historic behavior: failures
+  /// surface directly and every request plans over the full method set.
+  bool failover_enabled = true;
+  /// Knobs of the health registry (EWMA smoothing, quarantine thresholds and
+  /// windows). `health.clock` defaults to the service clock when null.
+  HealthOptions health;
 };
 
 /// One query-answering request.
@@ -125,6 +137,14 @@ struct QueryResponse {
   bool executed = false;
   /// Schema epoch the request was served under.
   uint64_t epoch = 0;
+  /// True when the served plan is a failover detour: it was planned with one
+  /// or more quarantined access methods excluded, so a cheaper primary plan
+  /// may exist once the outage heals. The answer itself is exact — degraded
+  /// refers to plan cost, not result completeness.
+  bool degraded = false;
+  /// True when this request's first execution failed with kUnavailable and
+  /// the service re-planned around the newly quarantined methods in-request.
+  bool failed_over = false;
   /// Per-phase latencies on the service clock.
   int64_t queue_micros = 0;
   int64_t plan_micros = 0;
@@ -163,6 +183,15 @@ struct ServiceStats {
   uint64_t access_bindings = 0;
   uint64_t epoch_bumps = 0;
   uint64_t queue_depth_high_water = 0;  ///< Deepest queue ever observed.
+  /// Source-health and failover counters (zero when failover is disabled).
+  uint64_t failovers = 0;           ///< In-request re-plans after kUnavailable.
+  uint64_t degraded_responses = 0;  ///< OK responses served by detour plans.
+  uint64_t quarantines = 0;         ///< Methods entering quarantine (cumulative).
+  uint64_t probes_sent = 0;         ///< Recovery probes replayed against sources.
+  uint64_t probes_failed = 0;       ///< Probes that re-armed the quarantine.
+  uint64_t recoveries = 0;          ///< Probes that re-admitted a method.
+  uint64_t methods_quarantined = 0;  ///< Currently excluded methods (gauge).
+  uint64_t availability_epoch = 0;   ///< Current availability epoch (gauge).
   /// Totals for deriving means; on the service clock.
   int64_t queue_micros = 0;
   int64_t plan_micros = 0;
@@ -268,6 +297,11 @@ class QueryService {
 
   const PlanCache& cache() const { return cache_; }
 
+  /// The source-health registry, or null when failover is disabled or the
+  /// service is plan-only. Exposed for tests and ops probes; the registry is
+  /// thread-safe.
+  const SourceHealthRegistry* health() const { return health_.get(); }
+
   /// Stops accepting requests and joins the workers. kDrain (default)
   /// serves everything already queued first; kAbort fails queued requests
   /// with kUnavailable and cancels in-flight ones. Idempotent and safe to
@@ -305,6 +339,32 @@ class QueryService {
   void WorkerLoop();
   QueryResponse Serve(const Job& job, AccessSource* source);
 
+  /// The epoch cached plans are keyed under: schema epoch in the high 32
+  /// bits, source-availability epoch in the low 32 (DESIGN.md §10). A schema
+  /// change or a quarantine/recovery transition each make prior entries
+  /// unreachable; the combined value stays monotone, so EvictBelowEpoch
+  /// semantics are preserved.
+  uint64_t ServingEpoch(uint64_t schema_epoch) const;
+
+  /// Replays due recovery probes (quarantine windows that expired on the
+  /// service clock) against this worker's source and reports the outcomes
+  /// back to the registry. Called at the top of Serve so the current request
+  /// already plans against the post-probe availability mask.
+  void RunDueProbes(AccessSource& source);
+
+  /// One planning episode for `fingerprint`: applies the current exclusion
+  /// mask, runs proof search under the request's remaining budget, and
+  /// offers the plan to the cache under `serving_epoch`. When the exclusion
+  /// mask is non-empty and no detour plan exists, falls back to an
+  /// unrestricted search iff `allow_primary_fallback` — the resulting
+  /// primary plan fails honestly with kUnavailable at execution rather than
+  /// reporting a misleading kNotFound. Returns null with `response.status`
+  /// set on failure.
+  std::shared_ptr<const CachedPlan> PlanAndCache(
+      const Job& job, const QueryFingerprint& fingerprint,
+      uint64_t serving_epoch, bool allow_primary_fallback,
+      QueryResponse& response);
+
   const AccessibleSchema* accessible_;
   const CostFunction* cost_;
   SourceFactory source_factory_;
@@ -312,6 +372,9 @@ class QueryService {
   Clock* clock_;
   ProofSearch search_;
   PlanCache cache_;
+  /// Null when failover is disabled or no source factory was given (plan-only
+  /// services have no executor feedback to learn from).
+  std::unique_ptr<SourceHealthRegistry> health_;
 
   std::atomic<uint64_t> epoch_;
   std::atomic<uint64_t> schema_fingerprint_;
@@ -344,6 +407,8 @@ class QueryService {
   std::atomic<uint64_t> access_batches_{0};
   std::atomic<uint64_t> access_bindings_{0};
   std::atomic<uint64_t> epoch_bumps_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> degraded_responses_{0};
   std::atomic<uint64_t> queue_depth_high_water_{0};
   std::atomic<int64_t> queue_micros_{0};
   std::atomic<int64_t> plan_micros_{0};

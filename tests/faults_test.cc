@@ -122,6 +122,45 @@ TEST(FaultInjectingSourceTest, PermanentOutageRejectsEveryCall) {
   EXPECT_EQ(faulty.stats().outage_rejections, 1u);
 }
 
+TEST(FaultInjectingSourceTest, OutageScheduleFollowsTheClock) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, FaultProfile{}, 42, &clock);
+  faulty.FailFrom(0, 1000);
+  faulty.RecoverAt(0, 5000);
+
+  EXPECT_TRUE(faulty.TryAccess(0, {}).ok());  // before the outage begins
+  clock.Advance(1000);
+  auto down = faulty.TryAccess(0, {});
+  ASSERT_FALSE(down.ok());
+  EXPECT_EQ(down.status().code(), StatusCode::kUnavailable);
+  clock.Advance(3999);  // now = 4999: one tick short of recovery
+  EXPECT_FALSE(faulty.TryAccess(0, {}).ok());
+  clock.Advance(1);  // now = 5000: healed
+  EXPECT_TRUE(faulty.TryAccess(0, {}).ok());
+  EXPECT_EQ(faulty.stats().outage_rejections, 2u);
+  // The schedule is pure clock arithmetic — no PRNG draws — so the fault
+  // schedule of other methods is untouched (determinism contract).
+  EXPECT_EQ(faulty.stats().injected_failures, 0u);
+}
+
+TEST(FaultInjectingSourceTest, RecoverAtHealsAProfilePermanentOutage) {
+  Schema schema = MakeSchema();
+  Instance instance = MakeInstance(schema, 1, 8);
+  SimulatedSource base(&schema, &instance);
+  FaultProfile profile;
+  profile.permanent_outages.insert(1);
+  VirtualClock clock;
+  FaultInjectingSource faulty(&base, profile, 7, &clock);
+  faulty.RecoverAt(1, 2000);
+
+  EXPECT_FALSE(faulty.TryAccess(1, {Value::Int(3)}).ok());
+  clock.Advance(2000);
+  EXPECT_TRUE(faulty.TryAccess(1, {Value::Int(3)}).ok());
+}
+
 TEST(FaultInjectingSourceTest, LatencyIsChargedToTheClock) {
   Schema schema = MakeSchema();
   Instance instance = MakeInstance(schema, 1, 8);

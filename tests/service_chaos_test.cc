@@ -53,14 +53,32 @@ int EnvInt(const char* name, int fallback) {
   return fallback;
 }
 
+/// One entry of a deterministic outage schedule: `method` goes dark at
+/// `fail_at` on the virtual clock and (when `recover_at` >= 0) heals at
+/// `recover_at`. Applied to every source a factory builds, so all workers
+/// observe the same world.
+struct OutageEvent {
+  AccessMethodId method = kInvalidAccessMethod;
+  int64_t fail_at = 0;
+  int64_t recover_at = -1;
+};
+
 /// Owns a SimulatedSource plus the fault wrapper around it, so a worker's
 /// source can be handed out as one object from the factory.
 class ChaosSource : public AccessSource {
  public:
   ChaosSource(const Schema* schema, const Instance* instance,
-              FaultProfile profile, uint64_t seed, Clock* clock)
+              FaultProfile profile, uint64_t seed, Clock* clock,
+              const std::vector<OutageEvent>& outages = {})
       : base_(schema, instance),
-        faulty_(&base_, std::move(profile), seed, clock) {}
+        faulty_(&base_, std::move(profile), seed, clock) {
+    for (const OutageEvent& outage : outages) {
+      faulty_.FailFrom(outage.method, outage.fail_at);
+      if (outage.recover_at >= 0) {
+        faulty_.RecoverAt(outage.method, outage.recover_at);
+      }
+    }
+  }
 
   Result<AccessOutcome> TryAccess(AccessMethodId method,
                                   const Tuple& inputs) override {
@@ -140,6 +158,18 @@ size_t RunScenario(const ChaosWorld& world, uint64_t seed) {
     profile.permanent_outages.insert(static_cast<AccessMethodId>(
         pick(static_cast<int>(world.schema->num_access_methods()))));
   }
+  // A mid-run scheduled outage (sometimes healing later) exercises the
+  // health registry's quarantine -> failover -> probe -> recovery cycle
+  // under the full chaos mix.
+  std::vector<OutageEvent> outages;
+  if (pick(3) == 0) {
+    OutageEvent outage;
+    outage.method = static_cast<AccessMethodId>(
+        pick(static_cast<int>(world.schema->num_access_methods())));
+    outage.fail_at = pick(40000);
+    if (pick(2) == 0) outage.recover_at = outage.fail_at + 5000 + pick(60000);
+    outages.push_back(outage);
+  }
 
   ServiceOptions options;
   options.num_workers = 1 + pick(4);
@@ -156,14 +186,17 @@ size_t RunScenario(const ChaosWorld& world, uint64_t seed) {
   options.execution.retry.jitter_fraction = 0.5;
   options.execution.retry.jitter_seed = rng();
   if (pick(3) == 0) options.planning_budget_micros = 1000 + pick(50000);
+  options.failover_enabled = pick(4) != 0;
+  options.health.quarantine_after_consecutive = 1 + pick(3);
+  options.health.quarantine_micros = 1000 + pick(30000);
 
   const Schema* schema = world.schema.get();
   const Instance* instance = world.instance.get();
   std::atomic<uint64_t> source_seed{seed * 977u + 1};
-  auto factory = [schema, instance, profile, &source_seed, &clock] {
+  auto factory = [schema, instance, profile, outages, &source_seed, &clock] {
     return std::make_unique<ChaosSource>(
         schema, instance, profile,
-        source_seed.fetch_add(1, std::memory_order_relaxed), &clock);
+        source_seed.fetch_add(1, std::memory_order_relaxed), &clock, outages);
   };
 
   QueryService service(world.accessible.get(), world.cost.get(), factory,
@@ -254,6 +287,15 @@ size_t RunScenario(const ChaosWorld& world, uint64_t seed) {
     EXPECT_LE(stats.queue_depth_high_water, options.max_queue_depth)
         << "seed " << seed << ": admission bound was not enforced";
   }
+  // Health conservation: every probe resolves at most once, and degraded
+  // responses are a subset of completions.
+  EXPECT_LE(stats.probes_failed + stats.recoveries, stats.probes_sent)
+      << "seed " << seed;
+  EXPECT_LE(stats.degraded_responses, stats.completed) << "seed " << seed;
+  if (!options.failover_enabled) {
+    EXPECT_EQ(stats.failovers, 0u) << "seed " << seed;
+    EXPECT_EQ(stats.quarantines, 0u) << "seed " << seed;
+  }
   return handles.size();
 }
 
@@ -268,6 +310,143 @@ TEST(ServiceChaosTest, SeededLifecycleScenariosHoldInvariants) {
   }
   // Sanity: the harness exercised a non-trivial number of requests.
   EXPECT_GT(total, static_cast<size_t>(iters));
+}
+
+/// Deterministic end-to-end failover scenario (the PR's acceptance check):
+/// a relation with a cheap and an expensive access method; the cheap one
+/// suffers a scheduled permanent outage mid-run and heals later. With one
+/// worker and sequential calls on a virtual clock, every transition is
+/// exactly scripted:
+///   * before the outage: cheap primary plan, not degraded;
+///   * first request in the outage: one in-request failover re-plan, then
+///     every subsequent request is OK + degraded (never kUnavailable);
+///   * while the outage lasts: recovery probes fail and back off, service
+///     keeps answering from the detour plan;
+///   * after the heal: the next probe succeeds, the availability epoch
+///     bumps, and the cheap primary plan wins its cache slot back.
+TEST(ServiceFailoverTest, OutageFailoverAndRecoveryAreDeterministic) {
+  Schema schema;
+  RelationId r = schema.AddRelation("R", 2).value();
+  const AccessMethodId cheap =
+      schema.AddAccessMethod("mt_r_cheap", r, {}, 1.0).value();
+  schema.AddAccessMethod("mt_r_expensive", r, {}, 25.0).value();
+  auto accessible = AccessibleSchema::Build(schema, AccessibleVariant::kStandard);
+  ASSERT_TRUE(accessible.ok()) << accessible.status();
+  SimpleCostFunction cost(&schema);
+  Instance instance(&schema);
+  for (int i = 0; i < 4; ++i) {
+    instance.AddFact(r, Tuple{Value::Int(i), Value::Int(i * 10)});
+  }
+  auto query = ParseQuery(schema, "Q(x, y) :- R(x, y)");
+  ASSERT_TRUE(query.ok()) << query.status();
+
+  SharedVirtualClock clock;
+  ServiceOptions options;
+  options.num_workers = 1;  // sequential Calls => a fully scripted schedule
+  options.clock = &clock;
+  options.execution.retry.max_attempts = 1;  // first failure is final
+  options.health.quarantine_after_consecutive = 1;
+  options.health.quarantine_micros = 50000;
+  options.health.quarantine_backoff = 2.0;
+  options.health.max_quarantine_micros = 100000;
+
+  // The outage is scheduled at source-construction time, so there is no race
+  // between the test thread and the worker's factory call.
+  auto factory = [&schema, &instance, &clock, cheap] {
+    std::vector<OutageEvent> outages;
+    outages.push_back(OutageEvent{cheap, 10000, 200000});
+    return std::make_unique<ChaosSource>(&schema, &instance, FaultProfile{},
+                                         /*seed=*/1, &clock, outages);
+  };
+  QueryService service(&accessible.value(), &cost, factory, options);
+  auto call = [&] {
+    QueryRequest request;
+    request.query = *query;
+    return service.Call(std::move(request));
+  };
+
+  // Phase 1 (t=0): healthy world, cheap primary plan.
+  QueryResponse r1 = call();
+  ASSERT_TRUE(r1.status.ok()) << r1.status;
+  EXPECT_FALSE(r1.degraded);
+  EXPECT_FALSE(r1.failed_over);
+  ASSERT_NE(r1.plan, nullptr);
+  const double cheap_cost = r1.plan->cost;
+  EXPECT_EQ(r1.execution.output.size(), 4u);
+
+  // Phase 2 (t=10ms): the cheap method goes dark. The first request fails
+  // over in-request: quarantine, one re-plan around the dead method, served
+  // from the detour.
+  clock.Advance(10000);
+  QueryResponse r2 = call();
+  ASSERT_TRUE(r2.status.ok()) << r2.status;
+  EXPECT_TRUE(r2.failed_over);
+  EXPECT_TRUE(r2.degraded);
+  ASSERT_NE(r2.plan, nullptr);
+  EXPECT_GT(r2.plan->cost, cheap_cost);
+  EXPECT_EQ(r2.execution.output.size(), 4u);  // exact answer, pricier plan
+
+  // Once the detour plan exists, no client ever sees kUnavailable again:
+  // requests hit the detour entry in the cache.
+  for (int i = 0; i < 3; ++i) {
+    QueryResponse response = call();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_TRUE(response.degraded);
+    EXPECT_FALSE(response.failed_over);
+    EXPECT_TRUE(response.cache_hit);
+  }
+
+  // Phase 3 (t=60ms): the quarantine window expires; the next request sends
+  // a recovery probe, which fails (the outage heals only at t=200ms) and
+  // doubles the window. Service keeps serving degraded answers throughout.
+  clock.Advance(50000);
+  QueryResponse r3 = call();
+  ASSERT_TRUE(r3.status.ok()) << r3.status;
+  EXPECT_TRUE(r3.degraded);
+  {
+    ServiceStats stats = service.SnapshotStats();
+    EXPECT_EQ(stats.probes_sent, 1u);
+    EXPECT_EQ(stats.probes_failed, 1u);
+    EXPECT_EQ(stats.recoveries, 0u);
+    EXPECT_EQ(stats.methods_quarantined, 1u);
+  }
+
+  // Phase 4 (t=160ms): second probe, still down (window now at the 100ms
+  // cap).
+  clock.Advance(100000);
+  QueryResponse r4 = call();
+  ASSERT_TRUE(r4.status.ok()) << r4.status;
+  EXPECT_TRUE(r4.degraded);
+
+  // Phase 5 (t=260ms): the outage healed at t=200ms; the pending probe
+  // succeeds, the method is re-admitted, the availability epoch bumps, and
+  // the same request is already served by the cheap primary plan again.
+  clock.Advance(100000);
+  QueryResponse r5 = call();
+  ASSERT_TRUE(r5.status.ok()) << r5.status;
+  EXPECT_FALSE(r5.degraded);
+  EXPECT_FALSE(r5.cache_hit);  // detour entry unreachable under the new epoch
+  ASSERT_NE(r5.plan, nullptr);
+  EXPECT_EQ(r5.plan->cost, cheap_cost);
+
+  // And the recovered plan is cached for everyone after.
+  QueryResponse r6 = call();
+  ASSERT_TRUE(r6.status.ok()) << r6.status;
+  EXPECT_TRUE(r6.cache_hit);
+  EXPECT_FALSE(r6.degraded);
+
+  service.Shutdown();
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.degraded_responses, 6u);  // r2, three cache hits, r3, r4
+  EXPECT_EQ(stats.probes_sent, 3u);
+  EXPECT_EQ(stats.probes_failed, 2u);
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_EQ(stats.quarantines, 3u);  // initial + two failed probes
+  EXPECT_EQ(stats.methods_quarantined, 0u);
+  EXPECT_EQ(stats.failed, 0u);  // no client-visible error in the whole run
+  const MethodHealthSnapshot snapshot = service.health()->Snapshot(cheap);
+  EXPECT_EQ(snapshot.state, MethodHealth::kHealthy);
 }
 
 }  // namespace
