@@ -3,7 +3,7 @@
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON] [RUNTIME_OUT_JSON] \
 #                             [SERVICE_OUT_JSON] [PARALLEL_OUT_JSON] \
-#                             [RUNTIME_EXEC_OUT_JSON]
+#                             [RUNTIME_EXEC_OUT_JSON] [PLAN_OPT_OUT_JSON]
 #   BUILD_DIR         cmake build directory containing the bench binaries
 #                     (default: build)
 #   OUT_JSON          output path for the chase google-benchmark JSON report
@@ -18,6 +18,8 @@
 #                     output path for the execution-engine JSON report
 #                     (default: BENCH_runtime_exec.json in the current
 #                     directory)
+#   PLAN_OPT_OUT_JSON output path for the plan-optimizer JSON report
+#                     (default: BENCH_plan_opt.json in the current directory)
 #
 # BENCH_chase.json includes BM_ChaseTransitiveClosure in both evaluation
 # modes (seminaive:0 = naive oracle, seminaive:1 = semi-naïve delta chase),
@@ -48,6 +50,13 @@
 # the speedup curve next to the host core count — speedups past the core
 # count measure contention, not parallelism.
 #
+# BENCH_plan_opt.json covers the plan-IR optimizer (DESIGN.md §11):
+# BM_Optimize* records cost-before/after and per-pass cost deltas on the
+# access-redundant and join-heavy plan families (the CSE+DCE cost reduction
+# on the redundant family is the headline number), and BM_Exec*Unopt/Opt
+# pairs measure the end-to-end execution-time delta the optimized plan buys
+# on the vectorized engine.
+#
 # All summaries are printed below.
 set -euo pipefail
 
@@ -57,14 +66,16 @@ RUNTIME_OUT_JSON="${3:-BENCH_runtime.json}"
 SERVICE_OUT_JSON="${4:-BENCH_service.json}"
 PARALLEL_OUT_JSON="${5:-BENCH_parallel.json}"
 RUNTIME_EXEC_OUT_JSON="${6:-BENCH_runtime_exec.json}"
+PLAN_OPT_OUT_JSON="${7:-BENCH_plan_opt.json}"
 CHASE_BIN="${BUILD_DIR}/bench/bench_chase"
 RUNTIME_BIN="${BUILD_DIR}/bench/bench_runtime_faults"
 SERVICE_BIN="${BUILD_DIR}/bench/bench_service"
 PARALLEL_BIN="${BUILD_DIR}/bench/bench_parallel_search"
 RUNTIME_EXEC_BIN="${BUILD_DIR}/bench/bench_runtime"
+PLAN_OPT_BIN="${BUILD_DIR}/bench/bench_plan_opt"
 
 for bin in "${CHASE_BIN}" "${RUNTIME_BIN}" "${SERVICE_BIN}" \
-           "${PARALLEL_BIN}" "${RUNTIME_EXEC_BIN}"; do
+           "${PARALLEL_BIN}" "${RUNTIME_EXEC_BIN}" "${PLAN_OPT_BIN}"; do
   if [[ ! -x "${bin}" ]]; then
     echo "error: ${bin} not found; build first:" >&2
     echo "  cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
@@ -236,4 +247,55 @@ for n in sorted(row, key=int):
         print(f"vectorized speedup (n={n}): {row[n] / vec[n]:.1f}x "
               f"(row {row[n]:.2f}ms -> vectorized {vec[n]:.2f}ms)")
 EOF
+fi
+
+"${PLAN_OPT_BIN}" \
+  --benchmark_out="${PLAN_OPT_OUT_JSON}" \
+  --benchmark_out_format=json \
+  ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
+
+echo "wrote ${PLAN_OPT_OUT_JSON}"
+
+# Plan-optimizer effect: cost reduction per family (with per-pass
+# attribution) and the execution-time delta of the optimized plan.
+# Informational, like the other summaries.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${PLAN_OPT_OUT_JSON}" <<'SUMEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+opt_rows, exec_rows = {}, {}
+for b in report.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b.get("name", "")
+    if name.startswith("BM_Optimize"):
+        opt_rows[name] = b
+    elif name.startswith("BM_Exec"):
+        exec_rows[name] = b
+for name in sorted(opt_rows):
+    b = opt_rows[name]
+    before, after = b.get("cost_before", 0), b.get("cost_after", 0)
+    pct = 100.0 * (1.0 - after / before) if before else 0.0
+    deltas = ", ".join(
+        f"{p}={b[p + '_cost_delta']:g}"
+        for p in ("cse", "pushdown", "dce", "join_reorder")
+        if b.get(p + "_cost_delta"))
+    attribution = f" [{deltas}]" if deltas else ""
+    print(f"{name}: cost {before:g} -> {after:g} (-{pct:.0f}%), "
+          f"access commands {b.get('access_before', 0):g} -> "
+          f"{b.get('access_after', 0):g}{attribution}")
+to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+for family in ("AccessRedundant", "JoinHeavy"):
+    unopt = exec_rows.get(f"BM_Exec{family}Unopt")
+    opt = exec_rows.get(f"BM_Exec{family}Opt")
+    if not unopt or not opt or not opt["real_time"]:
+        continue
+    scale = to_ms.get(unopt.get("time_unit", "ns"), 1e-6)
+    print(f"exec time ({family}): "
+          f"{unopt['real_time'] * scale:.2f}ms unoptimized -> "
+          f"{opt['real_time'] * scale:.2f}ms optimized "
+          f"({unopt['real_time'] / opt['real_time']:.2f}x)")
+SUMEOF
 fi

@@ -13,6 +13,8 @@
 #include <iostream>
 
 #include "lcp/accessible/accessible_schema.h"
+#include "lcp/plan/opt/pass_manager.h"
+#include "lcp/runtime/executor.h"
 #include "lcp/runtime/faults.h"
 #include "lcp/runtime/source.h"
 #include "lcp/schema/parser.h"
@@ -182,5 +184,47 @@ int main() {
             << fstats.methods_quarantined
             << " currently quarantined, availability epoch "
             << fstats.availability_epoch << "\n";
+
+  // --- 7. Plan optimizer: a redundant-access plan, before and after. ------
+  // The serving path optimizes every freshly-searched plan before cache
+  // admission (ServiceOptions::optimize_plans, on by default; §6 above ran
+  // it too). To see the passes at work, hand the PassManager the kind of
+  // plan a naive planner emits: the same access issued three times, a
+  // selection left hanging above a scan — then print the per-pass stats.
+  std::cout << "\n--- plan optimizer (DESIGN.md §11) ---\n";
+  Plan wasteful;
+  for (int i = 0; i < 3; ++i) {
+    AccessCommand access;
+    access.method = fast;
+    access.output_table = "t" + std::to_string(i);
+    access.output_columns = {{"x", 0}, {"y", 1}};
+    wasteful.commands.push_back(std::move(access));
+  }
+  wasteful.commands.push_back(QueryCommand{
+      "merged",
+      RaExpr::Union(RaExpr::Union(RaExpr::TempScan("t0"), RaExpr::TempScan("t1")),
+                    RaExpr::TempScan("t2"))});
+  wasteful.commands.push_back(QueryCommand{
+      "picked", RaExpr::Select(RaExpr::TempScan("merged"),
+                               {RaExpr::Condition::AttrEqConst(
+                                   "x", Value::Int(1))})});
+  wasteful.output_table = "picked";
+  wasteful.output_attrs = {"x", "y"};
+
+  plan_opt::PassManager optimizer;
+  plan_opt::OptimizeStats opt_stats;
+  Plan optimized =
+      optimizer.Optimize(wasteful, schema2, cost2, &opt_stats).value();
+  std::cout << opt_stats.ToString();
+
+  SimulatedSource demo_source(&schema2, &data2);
+  ExecutionResult before = ExecutePlan(wasteful, demo_source).value();
+  ExecutionResult after = ExecutePlan(optimized, demo_source).value();
+  std::cout << "unoptimized: " << before.access_commands
+            << " access commands, " << before.source_calls
+            << " source calls; optimized: " << after.access_commands
+            << " access commands, " << after.source_calls
+            << " source calls; both return " << after.output.size()
+            << " row(s)\n";
   return 0;
 }

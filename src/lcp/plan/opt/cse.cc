@@ -1,0 +1,58 @@
+#include "lcp/plan/opt/cse.h"
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "lcp/plan/opt/ir_util.h"
+
+namespace lcp {
+namespace plan_opt {
+
+bool CsePass::Run(Plan& plan, const Schema& /*schema*/,
+                  PassStats& stats) const {
+  // alias → representative output table. Representatives are themselves
+  // canonical (inputs are substituted before keying), so no chain chasing
+  // is ever needed.
+  std::unordered_map<std::string, std::string> aliases;
+  // structural command key → representative output table.
+  std::unordered_map<std::string, std::string> seen;
+  bool changed = false;
+
+  for (Command& cmd : plan.commands) {
+    RaExprPtr* input = nullptr;
+    if (auto* access = std::get_if<AccessCommand>(&cmd)) {
+      input = &access->input;
+    } else {
+      input = &std::get<QueryCommand>(cmd).expr;
+    }
+    if (*input != nullptr) {
+      RaExprPtr substituted = SubstituteTables(*input, aliases);
+      if (substituted != *input) {
+        *input = std::move(substituted);
+        ++stats.expressions_rewritten;
+        changed = true;
+      }
+    }
+
+    const std::string& out = OutputTableOf(cmd);
+    auto [it, inserted] = seen.emplace(CommandKey(cmd), out);
+    if (!inserted && it->second != out) {
+      // Duplicate producer: identical attributes and rows as the
+      // representative, so every later reference may use either.
+      aliases[out] = it->second;
+      ++stats.applications;
+    }
+  }
+
+  auto alias = aliases.find(plan.output_table);
+  if (alias != aliases.end()) {
+    plan.output_table = alias->second;
+    changed = true;
+  }
+  return changed;
+}
+
+}  // namespace plan_opt
+}  // namespace lcp

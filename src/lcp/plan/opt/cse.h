@@ -1,0 +1,24 @@
+#ifndef LCP_PLAN_OPT_CSE_H_
+#define LCP_PLAN_OPT_CSE_H_
+
+#include "lcp/plan/opt/pass.h"
+
+namespace lcp {
+namespace plan_opt {
+
+/// Common-subplan elimination. Hashes every command structurally (modulo
+/// temp-table renaming: references are canonicalized through the alias map
+/// before keying) and redirects all later references of a duplicate
+/// command's output table to the first structurally-identical producer.
+/// The duplicate command itself is left in place, now dead — dead-command
+/// elimination removes it, which is where the cost reduction lands.
+class CsePass : public PlanPass {
+ public:
+  const char* name() const override { return "cse"; }
+  bool Run(Plan& plan, const Schema& schema, PassStats& stats) const override;
+};
+
+}  // namespace plan_opt
+}  // namespace lcp
+
+#endif  // LCP_PLAN_OPT_CSE_H_

@@ -1,0 +1,24 @@
+#ifndef LCP_PLAN_OPT_DCE_H_
+#define LCP_PLAN_OPT_DCE_H_
+
+#include "lcp/plan/opt/pass.h"
+
+namespace lcp {
+namespace plan_opt {
+
+/// Dead-command elimination: one backward liveness sweep from the plan's
+/// output table. A command is live iff its output table is the plan output
+/// or is scanned by a later live command; everything else — including the
+/// duplicate producers CSE leaves behind — is dropped. Removing an access
+/// command is where cost actually falls (query commands are free under the
+/// shipped cost models).
+class DcePass : public PlanPass {
+ public:
+  const char* name() const override { return "dce"; }
+  bool Run(Plan& plan, const Schema& schema, PassStats& stats) const override;
+};
+
+}  // namespace plan_opt
+}  // namespace lcp
+
+#endif  // LCP_PLAN_OPT_DCE_H_

@@ -1,0 +1,157 @@
+#include "lcp/plan/opt/join_reorder.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "lcp/plan/opt/ir_util.h"
+
+namespace lcp {
+namespace plan_opt {
+
+namespace {
+
+void FlattenJoin(const RaExprPtr& expr, std::vector<RaExprPtr>& leaves) {
+  if (expr->op() == RaExpr::Op::kJoin) {
+    FlattenJoin(expr->children()[0], leaves);
+    FlattenJoin(expr->children()[1], leaves);
+  } else {
+    leaves.push_back(expr);
+  }
+}
+
+RaExprPtr Rewrite(const RaExprPtr& expr, const AttrEnv& env, PassStats& stats);
+
+RaExprPtr RewriteJoinChain(const RaExprPtr& expr, const AttrEnv& env,
+                           PassStats& stats) {
+  std::vector<RaExprPtr> leaves;
+  FlattenJoin(expr, leaves);
+
+  bool leaves_changed = false;
+  for (RaExprPtr& leaf : leaves) {
+    RaExprPtr rewritten = Rewrite(leaf, env, stats);
+    leaves_changed = leaves_changed || rewritten != leaf;
+    leaf = std::move(rewritten);
+  }
+
+  std::vector<std::vector<std::string>> leaf_attrs;
+  leaf_attrs.reserve(leaves.size());
+  for (const RaExprPtr& leaf : leaves) {
+    Result<std::vector<std::string>> attrs = InferExprAttrs(*leaf, env);
+    if (!attrs.ok()) return expr;  // Un-analyzable: leave the chain alone.
+    leaf_attrs.push_back(std::move(attrs).value());
+  }
+
+  // Greedy order: grow from the first leaf, always appending the remaining
+  // leaf that shares the most attributes with the set accumulated so far
+  // (most join keys bound → smallest intermediate). Ties and zero overlap
+  // fall back to original position, which keeps the pass deterministic and
+  // a no-op on already-ordered chains.
+  std::vector<size_t> order{0};
+  std::unordered_set<std::string> current(leaf_attrs[0].begin(),
+                                          leaf_attrs[0].end());
+  std::vector<bool> used(leaves.size(), false);
+  used[0] = true;
+  while (order.size() < leaves.size()) {
+    size_t best = leaves.size();
+    int best_shared = -1;
+    for (size_t i = 0; i < leaves.size(); ++i) {
+      if (used[i]) continue;
+      int shared = 0;
+      for (const std::string& attr : leaf_attrs[i]) {
+        if (current.count(attr)) ++shared;
+      }
+      if (shared > best_shared) {
+        best_shared = shared;
+        best = i;
+      }
+    }
+    used[best] = true;
+    order.push_back(best);
+    current.insert(leaf_attrs[best].begin(), leaf_attrs[best].end());
+  }
+
+  bool identity = true;
+  for (size_t i = 0; i < order.size(); ++i) identity = identity && order[i] == i;
+  if (identity && !leaves_changed) return expr;
+
+  // Natural join's output lists left attributes first, then unseen right
+  // ones, so a left-deep rebuild in any leaf order covers the same set but
+  // possibly in a different sequence; the original first-appearance order
+  // is restored with a Project when the leaf order changed.
+  std::vector<std::string> original_attrs;
+  for (const std::vector<std::string>& attrs : leaf_attrs) {
+    for (const std::string& attr : attrs) {
+      if (std::find(original_attrs.begin(), original_attrs.end(), attr) ==
+          original_attrs.end()) {
+        original_attrs.push_back(attr);
+      }
+    }
+  }
+  RaExprPtr rebuilt = leaves[order[0]];
+  for (size_t i = 1; i < order.size(); ++i) {
+    rebuilt = RaExpr::Join(std::move(rebuilt), leaves[order[i]]);
+  }
+  if (!identity) {
+    rebuilt = RaExpr::Project(std::move(rebuilt), std::move(original_attrs));
+    ++stats.joins_reordered;
+  }
+  return rebuilt;
+}
+
+RaExprPtr Rewrite(const RaExprPtr& expr, const AttrEnv& env,
+                  PassStats& stats) {
+  if (expr == nullptr) return expr;
+  if (expr->op() == RaExpr::Op::kJoin) {
+    return RewriteJoinChain(expr, env, stats);
+  }
+  std::vector<RaExprPtr> children;
+  children.reserve(expr->children().size());
+  bool changed = false;
+  for (const RaExprPtr& child : expr->children()) {
+    RaExprPtr rewritten = Rewrite(child, env, stats);
+    changed = changed || rewritten != child;
+    children.push_back(std::move(rewritten));
+  }
+  if (!changed) return expr;
+  switch (expr->op()) {
+    case RaExpr::Op::kProject:
+      return RaExpr::Project(std::move(children[0]), expr->attrs());
+    case RaExpr::Op::kSelect:
+      return RaExpr::Select(std::move(children[0]), expr->conditions());
+    case RaExpr::Op::kUnion:
+      return RaExpr::Union(std::move(children[0]), std::move(children[1]));
+    case RaExpr::Op::kDifference:
+      return RaExpr::Difference(std::move(children[0]), std::move(children[1]));
+    case RaExpr::Op::kRename:
+      return RaExpr::Rename(std::move(children[0]), expr->renames());
+    default:
+      return expr;
+  }
+}
+
+}  // namespace
+
+bool JoinReorderPass::Run(Plan& plan, const Schema& /*schema*/,
+                          PassStats& stats) const {
+  AttrEnv env;
+  bool changed = false;
+  for (Command& cmd : plan.commands) {
+    if (auto* query = std::get_if<QueryCommand>(&cmd)) {
+      RaExprPtr rewritten = Rewrite(query->expr, env, stats);
+      if (rewritten != query->expr) {
+        query->expr = std::move(rewritten);
+        ++stats.applications;
+        changed = true;
+      }
+    }
+    NoteCommand(cmd, env);
+  }
+  return changed;
+}
+
+}  // namespace plan_opt
+}  // namespace lcp

@@ -1,0 +1,28 @@
+#ifndef LCP_PLAN_OPT_JOIN_REORDER_H_
+#define LCP_PLAN_OPT_JOIN_REORDER_H_
+
+#include "lcp/plan/opt/pass.h"
+
+namespace lcp {
+namespace plan_opt {
+
+/// Greedy reorder of n-ary natural-join chains inside QueryCommand
+/// expressions (access-command inputs are never touched — reordering must
+/// not cross access boundaries). Each maximal kJoin tree is flattened to
+/// its leaves; starting from the first leaf, the next leaf is always the
+/// one sharing the most attributes with the set accumulated so far (ties
+/// and zero-overlap fall back to original order), and the chain is rebuilt
+/// left-deep. A Project onto the original attribute order is added on top
+/// so the rewritten expression keeps an identical schema; natural join is
+/// commutative and associative on sets of rows, so results are unchanged
+/// while intermediate cartesian blowups shrink.
+class JoinReorderPass : public PlanPass {
+ public:
+  const char* name() const override { return "join_reorder"; }
+  bool Run(Plan& plan, const Schema& schema, PassStats& stats) const override;
+};
+
+}  // namespace plan_opt
+}  // namespace lcp
+
+#endif  // LCP_PLAN_OPT_JOIN_REORDER_H_

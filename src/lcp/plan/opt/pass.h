@@ -1,0 +1,52 @@
+#ifndef LCP_PLAN_OPT_PASS_H_
+#define LCP_PLAN_OPT_PASS_H_
+
+#include <string>
+
+#include "lcp/plan/plan.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+namespace plan_opt {
+
+/// Per-pass counters, accumulated across fixpoint iterations by the
+/// PassManager. Counters that don't apply to a pass stay zero.
+struct PassStats {
+  std::string pass;
+
+  /// Times the pass changed the plan (at most once per fixpoint iteration).
+  int applications = 0;
+  int commands_removed = 0;
+  int access_commands_removed = 0;
+  /// Expressions rewritten to reference a CSE representative table.
+  int expressions_rewritten = 0;
+  /// Post-access Select conjuncts folded into position filters.
+  int selections_folded = 0;
+  /// Access input expressions narrowed to the bound columns.
+  int inputs_narrowed = 0;
+  /// Join chains rebuilt in a different leaf order.
+  int joins_reordered = 0;
+  /// Pass outputs discarded by the manager (failed validation or raised
+  /// cost). Always zero in a healthy build; counted so it is observable.
+  int rejected = 0;
+
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+};
+
+/// A plan-to-plan rewrite. Implementations must be stateless (a const pass
+/// is shared across threads by the serving path) and may assume the input
+/// plan passed ValidatePlan. Returns true iff `plan` was modified; the
+/// PassManager re-validates and re-costs every modified output and discards
+/// regressions, so passes should be correct but need not be paranoid.
+class PlanPass {
+ public:
+  virtual ~PlanPass() = default;
+  virtual const char* name() const = 0;
+  virtual bool Run(Plan& plan, const Schema& schema, PassStats& stats) const = 0;
+};
+
+}  // namespace plan_opt
+}  // namespace lcp
+
+#endif  // LCP_PLAN_OPT_PASS_H_

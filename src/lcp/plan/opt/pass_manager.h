@@ -1,0 +1,71 @@
+#ifndef LCP_PLAN_OPT_PASS_MANAGER_H_
+#define LCP_PLAN_OPT_PASS_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lcp/base/result.h"
+#include "lcp/plan/cost.h"
+#include "lcp/plan/opt/pass.h"
+#include "lcp/plan/plan.h"
+#include "lcp/schema/schema.h"
+
+namespace lcp {
+namespace plan_opt {
+
+/// Which passes run, and how long the fixpoint loop may spin. Defaults run
+/// everything; individual passes can be switched off for debugging or A/B
+/// benchmarking.
+struct OptimizerOptions {
+  bool enable_cse = true;
+  bool enable_pushdown = true;
+  bool enable_dce = true;
+  bool enable_join_reorder = true;
+  /// Upper bound on fixpoint iterations (each iteration runs every enabled
+  /// pass once); the loop exits early when an iteration changes nothing.
+  int max_fixpoint_iterations = 4;
+};
+
+/// Aggregate result of one Optimize() call.
+struct OptimizeStats {
+  /// One entry per enabled pass, in pipeline order, counters summed across
+  /// fixpoint iterations.
+  std::vector<PassStats> passes;
+  int fixpoint_iterations = 0;
+  bool changed = false;
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+  int commands_before = 0;
+  int commands_after = 0;
+  int access_commands_before = 0;
+  int access_commands_after = 0;
+
+  /// Multi-line human-readable report (used by the service demo).
+  std::string ToString() const;
+};
+
+/// Runs the pass pipeline over a plan until fixpoint. Every pass output is
+/// re-checked with ValidatePlan and re-costed under `cost`; an output that
+/// fails validation or costs more than its input is discarded (counted in
+/// PassStats::rejected), so Optimize never returns a plan that is invalid
+/// or costlier than its input. Errors only on an input plan that itself
+/// fails validation. Stateless after construction: one const PassManager
+/// is safely shared across threads.
+class PassManager {
+ public:
+  explicit PassManager(const OptimizerOptions& options = {});
+
+  Result<Plan> Optimize(const Plan& plan, const Schema& schema,
+                        const CostFunction& cost,
+                        OptimizeStats* stats = nullptr) const;
+
+ private:
+  OptimizerOptions options_;
+  std::vector<std::unique_ptr<const PlanPass>> passes_;
+};
+
+}  // namespace plan_opt
+}  // namespace lcp
+
+#endif  // LCP_PLAN_OPT_PASS_MANAGER_H_

@@ -131,9 +131,19 @@ Status ValidatePlan(const Plan& plan, const Schema& schema) {
               StrCat("input binding references missing attribute ", attr,
                      " for method ", method.name));
         }
-        bound.insert(pos);
+        if (!bound.insert(pos).second) {
+          return InvalidArgumentError(
+              StrCat("input position ", pos, " of method ", method.name,
+                     " is bound twice"));
+        }
       }
-      for (const auto& [pos, value] : access->constant_inputs) bound.insert(pos);
+      for (const auto& [pos, value] : access->constant_inputs) {
+        if (!bound.insert(pos).second) {
+          return InvalidArgumentError(
+              StrCat("input position ", pos, " of method ", method.name,
+                     " is bound twice"));
+        }
+      }
       for (int pos : method.input_positions) {
         if (bound.count(pos) == 0) {
           return InvalidArgumentError(
@@ -164,14 +174,22 @@ Status ValidatePlan(const Plan& plan, const Schema& schema) {
           return InvalidArgumentError("position constant out of range");
         }
       }
-      tables[access->output_table] = std::move(out_attrs);
+      if (!tables.emplace(access->output_table, std::move(out_attrs)).second) {
+        return InvalidArgumentError(
+            StrCat("output table ", access->output_table,
+                   " is produced twice"));
+      }
     } else {
       const QueryCommand& query = std::get<QueryCommand>(cmd);
       if (query.expr == nullptr) {
         return InvalidArgumentError("query command without expression");
       }
       LCP_ASSIGN_OR_RETURN(AttrSet attrs, InferAttrs(*query.expr, tables));
-      tables[query.output_table] = std::move(attrs);
+      if (!tables.emplace(query.output_table, std::move(attrs)).second) {
+        return InvalidArgumentError(
+            StrCat("output table ", query.output_table,
+                   " is produced twice"));
+      }
     }
   }
   auto it = tables.find(plan.output_table);

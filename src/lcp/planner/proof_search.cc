@@ -204,18 +204,43 @@ Result<SearchOutcome> ProofSearch::Run(const ConjunctiveQuery& query,
         "ProofSearch (Algorithm 1) uses the standard AcSch axioms; build the "
         "accessible schema with AccessibleVariant::kStandard");
   }
-  if (options.parallelism > 1) {
-    if (options.collect_exploration_log) {
-      return InvalidArgumentError(
-          "collect_exploration_log requires parallelism == 1: the "
-          "exploration log is an ordered depth-first trace, and a parallel "
-          "exploration has no canonical order");
-    }
-    return search_internal::RunParallelSearch(*accessible_, *cost_, query,
-                                              options);
+  if (options.parallelism > 1 && options.collect_exploration_log) {
+    return InvalidArgumentError(
+        "collect_exploration_log requires parallelism == 1: the "
+        "exploration log is an ordered depth-first trace, and a parallel "
+        "exploration has no canonical order");
   }
-  SequentialContext context(*accessible_, *cost_, query, options);
-  return context.Run();
+  Result<SearchOutcome> result =
+      options.parallelism > 1
+          ? search_internal::RunParallelSearch(*accessible_, *cost_, query,
+                                               options)
+          : SequentialContext(*accessible_, *cost_, query, options).Run();
+  if (!result.ok() || !options.optimize_plans) return result;
+
+  // Post-search optimization (DESIGN.md §11) — one place covers both the
+  // sequential and the work-stealing driver. Optimizer failures are never
+  // search failures: the literal proof-derived plan is already correct, so
+  // any rejection just serves it as-is.
+  SearchOutcome outcome = std::move(result).value();
+  plan_opt::PassManager manager(options.optimizer);
+  if (outcome.best.has_value()) {
+    Result<Plan> optimized = manager.Optimize(
+        outcome.best->plan, accessible_->base(), *cost_, &outcome.optimize);
+    if (optimized.ok()) {
+      outcome.best->plan = std::move(optimized).value();
+      outcome.best->cost = cost_->Cost(outcome.best->plan);
+      outcome.optimized = true;
+    }
+  }
+  for (FoundPlan& found : outcome.all_plans) {
+    Result<Plan> optimized =
+        manager.Optimize(found.plan, accessible_->base(), *cost_, nullptr);
+    if (optimized.ok()) {
+      found.plan = std::move(optimized).value();
+      found.cost = cost_->Cost(found.plan);
+    }
+  }
+  return outcome;
 }
 
 Result<FoundPlan> FindAnyPlan(const AccessibleSchema& accessible,

@@ -10,6 +10,7 @@
 #include "lcp/base/result.h"
 #include "lcp/chase/engine.h"
 #include "lcp/plan/cost.h"
+#include "lcp/plan/opt/pass_manager.h"
 #include "lcp/plan/plan.h"
 
 namespace lcp {
@@ -99,6 +100,18 @@ struct SearchOptions {
   /// answer should discard the best-so-far plan. Not owned; null =
   /// unlimited.
   Budget* budget = nullptr;
+  /// Run the plan-IR optimizer pipeline (plan/opt/, DESIGN.md §11) over
+  /// every returned plan once the search (sequential or parallel) has
+  /// finished: common-subplan elimination, projection/selection pushdown,
+  /// dead-command elimination, and join reorder, each re-validated and
+  /// guaranteed not to raise cost. `best->cost` is re-evaluated afterwards,
+  /// so it can only drop. Off by default — proof-generated plans are often
+  /// already minimal and differential harnesses may want the literal plan;
+  /// the QueryService turns it on so cached plans are optimized once and
+  /// served many times.
+  bool optimize_plans = false;
+  /// Pass selection and fixpoint bound when optimize_plans is set.
+  plan_opt::OptimizerOptions optimizer;
 };
 
 struct SearchStats {
@@ -124,6 +137,10 @@ struct SearchOutcome {
   std::vector<FoundPlan> all_plans;
   SearchStats stats;
   std::vector<std::string> exploration_log;
+  /// Optimizer report for `best` when SearchOptions::optimize_plans ran
+  /// (optimized == true); default-initialized otherwise.
+  bool optimized = false;
+  plan_opt::OptimizeStats optimize;
   /// Why the search stopped early, if it did (the anytime contract). OK
   /// means the proof space was exhausted and `best` is optimal within the
   /// access budget; kDeadlineExceeded / kResourceExhausted mean the time or

@@ -67,6 +67,10 @@ QueryService::QueryService(const AccessibleSchema* accessible,
     // every request with kInvalidArgument.
     options_.search.collect_exploration_log = false;
   }
+  // The service-level optimizer knobs are authoritative: cached plans are
+  // optimized once at planning time and served on every later hit.
+  options_.search.optimize_plans = options_.optimize_plans;
+  options_.search.optimizer = options_.optimizer;
   if (options_.failover_enabled && source_factory_ != nullptr) {
     // Plan-only services get no registry: with no executor feedback there is
     // nothing to learn and no probe to send.
@@ -246,6 +250,13 @@ ServiceStats QueryService::SnapshotStats() const {
   s.access_batches = access_batches_.load(std::memory_order_relaxed);
   s.access_bindings = access_bindings_.load(std::memory_order_relaxed);
   s.epoch_bumps = epoch_bumps_.load(std::memory_order_relaxed);
+  s.plans_optimized = plans_optimized_.load(std::memory_order_relaxed);
+  s.optimizer_commands_removed =
+      optimizer_commands_removed_.load(std::memory_order_relaxed);
+  s.optimizer_access_commands_removed =
+      optimizer_access_commands_removed_.load(std::memory_order_relaxed);
+  s.optimizer_cost_saved_milli =
+      optimizer_cost_saved_milli_.load(std::memory_order_relaxed);
   s.queue_depth_high_water =
       queue_depth_high_water_.load(std::memory_order_relaxed);
   s.failovers = failovers_.load(std::memory_order_relaxed);
@@ -427,6 +438,24 @@ std::shared_ptr<const CachedPlan> QueryService::PlanAndCache(
                                   request.query.name))
                             : outcome->exhaustion;
       return nullptr;
+    }
+    if (outcome->optimized && outcome->optimize.changed) {
+      plans_optimized_.fetch_add(1, std::memory_order_relaxed);
+      optimizer_commands_removed_.fetch_add(
+          static_cast<uint64_t>(outcome->optimize.commands_before -
+                                outcome->optimize.commands_after),
+          std::memory_order_relaxed);
+      optimizer_access_commands_removed_.fetch_add(
+          static_cast<uint64_t>(outcome->optimize.access_commands_before -
+                                outcome->optimize.access_commands_after),
+          std::memory_order_relaxed);
+      const double saved =
+          outcome->optimize.cost_before - outcome->optimize.cost_after;
+      if (saved > 0) {
+        optimizer_cost_saved_milli_.fetch_add(
+            static_cast<uint64_t>(saved * 1000.0 + 0.5),
+            std::memory_order_relaxed);
+      }
     }
     if (options_.cache_enabled) {
       // Offered even for skip_cache requests: a freshly planned result can

@@ -98,6 +98,16 @@ struct ServiceOptions {
   /// Knobs of the health registry (EWMA smoothing, quarantine thresholds and
   /// windows). `health.clock` defaults to the service clock when null.
   HealthOptions health;
+  /// Run the plan-IR optimizer pipeline (plan/opt/, DESIGN.md §11) on every
+  /// freshly planned query before cache admission, so warm hits serve
+  /// pre-optimized plans and the admission decision sees the optimized cost.
+  /// On by default: optimization is validated per pass, can only lower cost,
+  /// and its one-time latency is amortized over every hit. Overrides
+  /// `search.optimize_plans`.
+  bool optimize_plans = true;
+  /// Pass selection and fixpoint bound when optimize_plans is set
+  /// (overrides `search.optimizer`).
+  plan_opt::OptimizerOptions optimizer;
 };
 
 /// One query-answering request.
@@ -176,6 +186,15 @@ struct ServiceStats {
   uint64_t cache_hits = 0;
   uint64_t searches = 0;       ///< Proof searches actually run.
   uint64_t executions = 0;
+  /// Plan-IR optimizer totals over freshly planned queries (zero when
+  /// ServiceOptions::optimize_plans is off).
+  uint64_t plans_optimized = 0;             ///< Optimizer runs that changed the plan.
+  uint64_t optimizer_commands_removed = 0;  ///< Commands eliminated in total.
+  uint64_t optimizer_access_commands_removed = 0;
+  /// Total cost removed by the optimizer, in 1/1000 cost units (counters are
+  /// integers; the shipped cost models are sums of method costs, so
+  /// milli-units lose nothing in practice).
+  uint64_t optimizer_cost_saved_milli = 0;
   /// Batched-dispatch totals across executions (vectorized and row engines
   /// both dispatch accesses in batches): TryAccessBatch calls issued and
   /// bindings carried by them.
@@ -407,6 +426,10 @@ class QueryService {
   std::atomic<uint64_t> access_batches_{0};
   std::atomic<uint64_t> access_bindings_{0};
   std::atomic<uint64_t> epoch_bumps_{0};
+  std::atomic<uint64_t> plans_optimized_{0};
+  std::atomic<uint64_t> optimizer_commands_removed_{0};
+  std::atomic<uint64_t> optimizer_access_commands_removed_{0};
+  std::atomic<uint64_t> optimizer_cost_saved_milli_{0};
   std::atomic<uint64_t> failovers_{0};
   std::atomic<uint64_t> degraded_responses_{0};
   std::atomic<uint64_t> queue_depth_high_water_{0};

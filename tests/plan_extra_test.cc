@@ -94,6 +94,47 @@ TEST(ValidatePlanTest, RejectsUnionOverMismatchedAttrs) {
   EXPECT_FALSE(ValidatePlan(plan, schema).ok());
 }
 
+// The next four rejections close the holes the plan-IR optimizer's per-pass
+// validation relies on (DESIGN.md §11): with unique output tables and
+// single-bound input positions, every temp-table reference is unambiguous.
+
+TEST(ValidatePlanTest, RejectsDuplicateOutputTable) {
+  Schema schema = MakeSchema();
+  Plan plan = GoodPlan();
+  // A second producer of "t0" with identical shape: redefinition was
+  // silently last-wins before, now it is an error.
+  plan.commands.insert(plan.commands.begin() + 1, plan.commands[0]);
+  EXPECT_FALSE(ValidatePlan(plan, schema).ok());
+}
+
+TEST(ValidatePlanTest, RejectsDuplicateOutputTableAcrossCommandKinds) {
+  Schema schema = MakeSchema();
+  Plan plan = GoodPlan();
+  std::get<QueryCommand>(plan.commands[2]).output_table = "t1";
+  plan.output_table = "t1";
+  plan.output_attrs = {"a", "c"};
+  EXPECT_FALSE(ValidatePlan(plan, schema).ok());
+}
+
+TEST(ValidatePlanTest, RejectsInputPositionBoundTwice) {
+  Schema schema = MakeSchema();
+  Plan plan = GoodPlan();
+  auto& access = std::get<AccessCommand>(plan.commands[1]);
+  access.input = RaExpr::TempScan("t0");
+  access.input_binding = {{"a", 0}, {"b", 0}};  // position 0 bound twice
+  EXPECT_FALSE(ValidatePlan(plan, schema).ok());
+}
+
+TEST(ValidatePlanTest, RejectsPositionBoundByColumnAndConstant) {
+  Schema schema = MakeSchema();
+  Plan plan = GoodPlan();
+  auto& access = std::get<AccessCommand>(plan.commands[1]);
+  // The executor would silently let the constant shadow the column; the
+  // validator now refuses the ambiguity outright.
+  access.constant_inputs = {{0, Value::Int(7)}};
+  EXPECT_FALSE(ValidatePlan(plan, schema).ok());
+}
+
 /// Every plan the proof search produces must pass static validation — on
 /// every scenario, for every complete plan found.
 TEST(ValidatePlanTest, AllProofGeneratedPlansValidate) {
