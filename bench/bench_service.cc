@@ -20,6 +20,16 @@
 //                            the outage, recovery after the heal. The
 //                            headline is that goodput stays at 100% — only
 //                            plan cost degrades, never availability.
+//   BM_ServiceCoalescedBurst — a duplicate-heavy (zipf-flavoured) burst
+//                            against a cache cold for this epoch, with
+//                            single-flight coalescing off (arg 0) vs on
+//                            (arg 1): the searches_per_burst counter is the
+//                            headline — with coalescing it collapses to
+//                            roughly one search per distinct query.
+//   BM_ServiceSnapshotRestart — service construction plus first requests,
+//                            cold (arg 0) vs warmed from a plan-cache
+//                            snapshot (arg 1): the warm restart re-proves
+//                            nothing (searches_per_restart == 0).
 //
 // Queries rotate through α-renamed variants, so the warm numbers include the
 // canonicalizer, not just the hash probe.
@@ -28,8 +38,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "lcp/accessible/accessible_schema.h"
@@ -95,8 +107,8 @@ struct PlanWorkload {
   std::unique_ptr<SimpleCostFunction> cost;
   std::vector<ConjunctiveQuery> queries;
 
-  PlanWorkload() {
-    auto scenario = MakeChainScenario(4);
+  explicit PlanWorkload(int chain_length = 4) {
+    auto scenario = MakeChainScenario(chain_length);
     schema = std::move(scenario->schema);
     queries.push_back(scenario->query);
     for (const char* text : {"Q(x) :- R0(x, y)", "Q(head) :- R0(head, next)",
@@ -366,6 +378,148 @@ void BM_FailoverOutage(benchmark::State& state) {
   state.counters["recoveries"] = static_cast<double>(last.recoveries);
 }
 BENCHMARK(BM_FailoverOutage)->UseRealTime();
+
+/// Queries over *distinct* fingerprints (unlike ServiceWorkload::queries,
+/// which are α-renamings of one key): the duplicate-heavy mixes below need
+/// several real cache entries.
+std::vector<ConjunctiveQuery> DistinctQueries(const ServiceWorkload& w) {
+  std::vector<ConjunctiveQuery> queries = {w.queries[0]};
+  for (const char* text :
+       {"Q(e, l) :- Udirect(e, l)", "Q(l) :- Udirect(e, l)",
+        "Q() :- Profinfo(eid, onum, lname)"}) {
+    queries.push_back(ParseQuery(*w.schema, text).value());
+  }
+  return queries;
+}
+
+void BM_ServiceCoalescedBurst(benchmark::State& state) {
+  const bool coalescing = state.range(0) != 0;
+  // The 24-source scenario's proof search takes >10ms even with dominance
+  // pruning — longer than both worker wake-up latency and a scheduler
+  // timeslice, so concurrent duplicates genuinely overlap even on one core
+  // (profinfo- or chain-style searches resolve faster than dispatch, so
+  // nothing would ever coalesce). The α-renamed rotation is the zipf limit:
+  // one hot key under maximal duplication, through the canonicalizer every
+  // time.
+  auto scenario = MakeMultiSourceScenario(24);
+  std::unique_ptr<Schema> schema = std::move(scenario->schema);
+  std::vector<ConjunctiveQuery> queries = {scenario->query};
+  for (const char* text : {"Q() :- Profinfo(a, b, c)",
+                           "Q() :- Profinfo(id, office, name)"}) {
+    queries.push_back(ParseQuery(*schema, text).value());
+  }
+  AccessibleSchema accessible =
+      AccessibleSchema::Build(*schema, AccessibleVariant::kStandard).value();
+  SimpleCostFunction cost(schema.get());
+  ServiceOptions options;
+  options.num_workers = 4;
+  options.coalescing_enabled = coalescing;
+  QueryService service(&accessible, &cost, nullptr, options);
+  constexpr int kBurst = 128;
+  uint64_t ok = 0;
+  for (auto _ : state) {
+    // Each burst starts epoch-cold: every request for the key either pays a
+    // proof search or coalesces onto one that is already in flight.
+    service.BumpEpoch();
+    std::vector<std::future<QueryResponse>> futures;
+    futures.reserve(kBurst);
+    for (int i = 0; i < kBurst; ++i) {
+      QueryRequest request;
+      request.query = queries[static_cast<size_t>(i) % queries.size()];
+      request.execute = false;
+      futures.push_back(service.Submit(std::move(request)).future);
+    }
+    for (auto& future : futures) {
+      QueryResponse response = future.get();
+      if (response.status.ok()) ++ok;
+      benchmark::DoNotOptimize(response);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  const ServiceStats stats = service.SnapshotStats();
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["searches_per_burst"] =
+      iters == 0 ? 0.0 : static_cast<double>(stats.searches) / iters;
+  state.counters["followers_per_burst"] =
+      iters == 0 ? 0.0
+                 : static_cast<double>(stats.coalesced_followers) / iters;
+  state.counters["ok_fraction"] =
+      state.iterations() == 0
+          ? 0.0
+          : static_cast<double>(ok) /
+                (static_cast<double>(state.iterations()) * kBurst);
+}
+BENCHMARK(BM_ServiceCoalescedBurst)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("coalescing")
+    ->UseRealTime();
+
+void BM_ServiceSnapshotRestart(benchmark::State& state) {
+  const bool warm = state.range(0) != 0;
+  ServiceWorkload w;
+  const std::vector<ConjunctiveQuery> queries = DistinctQueries(w);
+  const std::string path = "lcp_bench_snapshot.bin";
+  std::remove(path.c_str());
+  if (warm) {
+    // Seed the snapshot once: serve every distinct query, then drain — the
+    // shutdown snapshot persists the warmed cache.
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.snapshot_path = path;
+    QueryService seeder(w.accessible.get(), w.cost.get(), w.Factory(),
+                        options);
+    for (const ConjunctiveQuery& query : queries) {
+      QueryRequest request;
+      request.query = query;
+      request.execute = false;
+      if (!seeder.Call(std::move(request)).status.ok()) {
+        state.SkipWithError("seeding failed");
+        return;
+      }
+    }
+    seeder.Shutdown(ShutdownMode::kDrain);
+  }
+  uint64_t searches = 0;
+  uint64_t loaded = 0;
+  for (auto _ : state) {
+    // One restart per iteration: construct (loading the snapshot, if any),
+    // serve the whole distinct set, abort-shutdown (no snapshot rewrite).
+    ServiceOptions options;
+    options.num_workers = 2;
+    options.snapshot_path = path;
+    QueryService service(w.accessible.get(), w.cost.get(), w.Factory(),
+                         options);
+    for (const ConjunctiveQuery& query : queries) {
+      QueryRequest request;
+      request.query = query;
+      request.execute = false;
+      QueryResponse response = service.Call(std::move(request));
+      if (!response.status.ok()) {
+        state.SkipWithError("restart request failed");
+        return;
+      }
+      benchmark::DoNotOptimize(response);
+    }
+    const ServiceStats stats = service.SnapshotStats();
+    searches += stats.searches;
+    loaded += stats.snapshot_entries_loaded;
+    service.Shutdown(ShutdownMode::kAbort);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["searches_per_restart"] =
+      iters == 0 ? 0.0 : static_cast<double>(searches) / iters;
+  state.counters["entries_loaded_per_restart"] =
+      iters == 0 ? 0.0 : static_cast<double>(loaded) / iters;
+}
+BENCHMARK(BM_ServiceSnapshotRestart)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("warm")
+    ->UseRealTime();
 
 }  // namespace
 

@@ -38,6 +38,12 @@
 # serving path), and overload behavior against a bounded queue
 # (BM_ServiceOverload: goodput, shed rate, and the p50/p99 latency of a
 # rejected Submit — the fast-fail path should stay in the microseconds).
+# It also covers the PR-9 robustness features: BM_ServiceCoalescedBurst
+# (duplicate-heavy burst with single-flight coalescing off vs on; the
+# summary prints the searches-per-burst collapse) and
+# BM_ServiceSnapshotRestart (cold restart vs restart warmed from a plan-
+# cache snapshot; the summary prints the restart speedup and confirms a
+# warmed restart re-proves nothing).
 # BENCH_runtime_exec.json covers the execution engines on a join-heavy
 # plan: BM_ExecuteRowOracle (tuple-at-a-time) vs BM_ExecuteVectorized
 # (columnar batches) at growing instance sizes. Both produce bit-identical
@@ -142,7 +148,7 @@ import json, os, sys
 with open(sys.argv[1]) as f:
     report = json.load(f)
 cold = warm = overload = None
-scaling = {}
+scaling, coalesce, restart = {}, {}, {}
 for b in report.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
@@ -156,9 +162,38 @@ for b in report.get("benchmarks", []):
         scaling[workers] = b["items_per_second"]
     elif name.startswith("BM_ServiceOverload"):
         overload = b
+    elif name.startswith("BM_ServiceCoalescedBurst/"):
+        coalesce[name.split("coalescing:")[1].split("/")[0]] = b
+    elif name.startswith("BM_ServiceSnapshotRestart/"):
+        restart[name.split("warm:")[1].split("/")[0]] = b
 if cold and warm and cold > 0:
     print(f"plan-cache amortization: {warm / cold:.1f}x "
           f"(cold {cold:,.0f} -> warm {warm:,.0f} plans/s)")
+to_ms = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+if "0" in coalesce and "1" in coalesce:
+    off, on = coalesce["0"], coalesce["1"]
+    ratio = off["real_time"] / on["real_time"] if on["real_time"] else 0.0
+    off_ms = off["real_time"] * to_ms.get(off.get("time_unit", "ns"), 1e-6)
+    on_ms = on["real_time"] * to_ms.get(on.get("time_unit", "ns"), 1e-6)
+    print(f"coalesced burst: searches/burst "
+          f"{off.get('searches_per_burst', 0):.1f} -> "
+          f"{on.get('searches_per_burst', 0):.1f} "
+          f"({on.get('followers_per_burst', 0):.1f} followers rode along), "
+          f"{off_ms:.1f}ms -> {on_ms:.1f}ms per burst ({ratio:.1f}x)")
+if "0" in restart and "1" in restart:
+    cold_r, warm_r = restart["0"], restart["1"]
+    ratio = (cold_r["real_time"] / warm_r["real_time"]
+             if warm_r["real_time"] else 0.0)
+    cold_us = cold_r["real_time"] * to_ms.get(
+        cold_r.get("time_unit", "ns"), 1e-6) * 1e3
+    warm_us = warm_r["real_time"] * to_ms.get(
+        warm_r.get("time_unit", "ns"), 1e-6) * 1e3
+    print(f"snapshot-warmed restart: {cold_us:.0f}us cold -> "
+          f"{warm_us:.0f}us warm ({ratio:.1f}x); re-proofs/restart "
+          f"{cold_r.get('searches_per_restart', 0):.1f} -> "
+          f"{warm_r.get('searches_per_restart', 0):.1f} "
+          f"({warm_r.get('entries_loaded_per_restart', 0):.1f} plans loaded "
+          "from snapshot)")
 if overload is not None:
     print(f"overload (4x capacity burst): "
           f"goodput {overload.get('goodput', 0):,.0f} req/s, "

@@ -1,0 +1,23 @@
+#ifndef LCP_BASE_CRC32_H_
+#define LCP_BASE_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lcp {
+
+/// CRC-32 (the reflected IEEE 802.3 polynomial 0xEDB88320) over `data`.
+/// `seed` lets callers chain incremental updates: Crc32(b, Crc32(a)) equals
+/// Crc32(a+b). Used by the snapshot store to frame cache entries so a torn
+/// write or a flipped byte is detected per entry instead of poisoning the
+/// whole load (DESIGN.md §12).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view data, uint32_t seed = 0) {
+  return Crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_CRC32_H_

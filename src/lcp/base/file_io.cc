@@ -1,0 +1,98 @@
+#include "lcp/base/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  const int err = errno;
+  return UnavailableError(StrCat(op, " ", path, ": ", std::strerror(err)));
+}
+
+}  // namespace
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError(StrCat("no such file: ", path));
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buffer[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    out.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string temp = StrCat(path, ".tmp.", ::getpid());
+  const int fd =
+      ::open(temp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", temp);
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("write", temp);
+      ::close(fd);
+      ::unlink(temp.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  // The data must be on disk before the rename makes it reachable under the
+  // final name, or a crash could publish a torn file.
+  if (::fsync(fd) != 0) {
+    Status status = ErrnoStatus("fsync", temp);
+    ::close(fd);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    Status status = ErrnoStatus("close", temp);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  if (::rename(temp.c_str(), path.c_str()) != 0) {
+    Status status = ErrnoStatus("rename", temp);
+    ::unlink(temp.c_str());
+    return status;
+  }
+  // Durability of the rename itself: fsync the parent directory. Failure here
+  // is not fatal — the data file is complete; only crash-durability of the
+  // directory entry is weakened — so this is best-effort.
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return Status::Ok();
+}
+
+}  // namespace lcp

@@ -1,0 +1,28 @@
+#ifndef LCP_BASE_FILE_IO_H_
+#define LCP_BASE_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "lcp/base/result.h"
+#include "lcp/base/status.h"
+
+namespace lcp {
+
+/// Reads the entire file at `path` into a string. kNotFound when the file
+/// does not exist (callers that treat a missing snapshot as a cold start
+/// branch on the code); kUnavailable for any other I/O failure.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Durably replaces the file at `path` with `data`: writes to a temporary
+/// sibling (`path` + ".tmp.<pid>"), fsyncs it, atomically renames it over
+/// `path`, and best-effort fsyncs the parent directory so the rename itself
+/// survives a power cut. Readers therefore observe either the old file or
+/// the complete new one — never a partial write under the final name. A
+/// crash mid-write leaves at worst a stale `.tmp` sibling, which the next
+/// successful write replaces.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+}  // namespace lcp
+
+#endif  // LCP_BASE_FILE_IO_H_

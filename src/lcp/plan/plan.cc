@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "lcp/base/strings.h"
+#include "lcp/plan/opt/ir_util.h"
 
 namespace lcp {
 
@@ -90,6 +91,52 @@ std::string Plan::ToString(const Schema& schema) const {
   if (!output_attrs.empty()) os << "[" << StrJoin(output_attrs, ",") << "]";
   os << "\n";
   return os.str();
+}
+
+namespace {
+
+/// The full structural form of one command: plan_opt::CommandKey covers
+/// everything except the output-table name (the optimizer compares commands
+/// modulo renaming); equality of whole plans needs the name too, since later
+/// commands reference it.
+std::string FullCommandKey(const Command& cmd) {
+  return StrCat(plan_opt::OutputTableOf(cmd), "<-", plan_opt::CommandKey(cmd));
+}
+
+}  // namespace
+
+bool operator==(const Plan& a, const Plan& b) {
+  if (a.output_table != b.output_table || a.output_attrs != b.output_attrs ||
+      a.commands.size() != b.commands.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.commands.size(); ++i) {
+    if (FullCommandKey(a.commands[i]) != FullCommandKey(b.commands[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t PlanStructuralHash(const Plan& plan) {
+  // FNV-1a over the same canonical serialization operator== compares, with a
+  // splitmix finisher; equal plans hash equal by construction.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& piece) {
+    for (unsigned char c : piece) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // separator so adjacent pieces cannot alias
+    h *= 0x100000001b3ULL;
+  };
+  for (const Command& cmd : plan.commands) mix(FullCommandKey(cmd));
+  mix(plan.output_table);
+  for (const std::string& attr : plan.output_attrs) mix(attr);
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
 }
 
 }  // namespace lcp

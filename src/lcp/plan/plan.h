@@ -68,6 +68,20 @@ struct Plan {
   std::string ToString(const Schema& schema) const;
 };
 
+/// Structural plan equality: same command sequence (each command compared by
+/// its canonical structural key, so semantically-equal permutations of
+/// binding lists and position filters compare equal), same per-command
+/// output tables, and the same plan output table and attribute list. Two
+/// equal plans evaluate identically over any source. This is what the
+/// serialization round-trip and snapshot-equivalence tests assert, instead
+/// of comparing ToString dumps.
+bool operator==(const Plan& a, const Plan& b);
+inline bool operator!=(const Plan& a, const Plan& b) { return !(a == b); }
+
+/// A 64-bit digest of the structural form compared by operator==: equal
+/// plans hash equal. Suitable for dedup tables and cheap inequality checks.
+uint64_t PlanStructuralHash(const Plan& plan);
+
 }  // namespace lcp
 
 #endif  // LCP_PLAN_PLAN_H_

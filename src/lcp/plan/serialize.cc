@@ -1,0 +1,426 @@
+#include "lcp/plan/serialize.h"
+
+#include <cstring>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "lcp/base/strings.h"
+
+namespace lcp {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+constexpr uint8_t kCmdAccess = 0;
+constexpr uint8_t kCmdQuery = 1;
+
+constexpr uint8_t kExprNull = 0xFF;  ///< Absent expression (input-free access).
+constexpr uint8_t kValueInt = 0;
+constexpr uint8_t kValueString = 1;
+constexpr uint8_t kCondAttrEqAttr = 0;
+constexpr uint8_t kCondAttrEqConst = 1;
+
+/// Corrupt input must never drive allocation or recursion: nesting is capped
+/// far above anything the planner emits, and every length is checked against
+/// the bytes actually remaining.
+constexpr int kMaxExprDepth = 256;
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+  }
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+void PutValue(std::string& out, const Value& v) {
+  if (v.is_int()) {
+    PutU8(out, kValueInt);
+    PutU64(out, static_cast<uint64_t>(v.AsInt()));
+  } else {
+    PutU8(out, kValueString);
+    PutString(out, v.AsString());
+  }
+}
+
+void PutExpr(std::string& out, const RaExprPtr& expr) {
+  if (expr == nullptr) {
+    PutU8(out, kExprNull);
+    return;
+  }
+  PutU8(out, static_cast<uint8_t>(expr->op()));
+  switch (expr->op()) {
+    case RaExpr::Op::kTempScan:
+      PutString(out, expr->table());
+      return;
+    case RaExpr::Op::kSingleton:
+      return;
+    case RaExpr::Op::kProject:
+      PutU32(out, static_cast<uint32_t>(expr->attrs().size()));
+      for (const std::string& attr : expr->attrs()) PutString(out, attr);
+      PutExpr(out, expr->children()[0]);
+      return;
+    case RaExpr::Op::kSelect:
+      PutU32(out, static_cast<uint32_t>(expr->conditions().size()));
+      for (const RaExpr::Condition& c : expr->conditions()) {
+        if (c.kind == RaExpr::Condition::Kind::kAttrEqAttr) {
+          PutU8(out, kCondAttrEqAttr);
+          PutString(out, c.lhs);
+          PutString(out, c.rhs_attr);
+        } else {
+          PutU8(out, kCondAttrEqConst);
+          PutString(out, c.lhs);
+          PutValue(out, c.rhs_const);
+        }
+      }
+      PutExpr(out, expr->children()[0]);
+      return;
+    case RaExpr::Op::kJoin:
+    case RaExpr::Op::kUnion:
+    case RaExpr::Op::kDifference:
+      PutExpr(out, expr->children()[0]);
+      PutExpr(out, expr->children()[1]);
+      return;
+    case RaExpr::Op::kRename:
+      PutU32(out, static_cast<uint32_t>(expr->renames().size()));
+      for (const auto& [from, to] : expr->renames()) {
+        PutString(out, from);
+        PutString(out, to);
+      }
+      PutExpr(out, expr->children()[0]);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked forward reader over the input bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Result<uint8_t> U8() {
+    if (remaining() < 1) return Truncated("u8");
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> String() {
+    LCP_ASSIGN_OR_RETURN(uint32_t size, U32());
+    if (remaining() < size) return Truncated("string payload");
+    std::string s(data_.substr(pos_, size));
+    pos_ += size;
+    return s;
+  }
+
+  /// A declared element count can never exceed the remaining byte count
+  /// (every element is at least one byte), so corrupt counts are rejected
+  /// before any reserve-style allocation.
+  Result<uint32_t> Count(const char* what) {
+    LCP_ASSIGN_OR_RETURN(uint32_t count, U32());
+    if (count > remaining()) {
+      return InvalidArgumentError(StrCat("plan codec: implausible ", what,
+                                         " count ", count, " with ",
+                                         remaining(), " bytes left"));
+    }
+    return count;
+  }
+
+ private:
+  Status Truncated(const char* what) const {
+    return InvalidArgumentError(
+        StrCat("plan codec: truncated input reading ", what, " at offset ",
+               pos_, " of ", data_.size()));
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Result<Value> ReadValue(Cursor& cursor) {
+  LCP_ASSIGN_OR_RETURN(uint8_t tag, cursor.U8());
+  if (tag == kValueInt) {
+    LCP_ASSIGN_OR_RETURN(uint64_t bits, cursor.U64());
+    return Value::Int(static_cast<int64_t>(bits));
+  }
+  if (tag == kValueString) {
+    LCP_ASSIGN_OR_RETURN(std::string s, cursor.String());
+    return Value::Str(std::move(s));
+  }
+  return InvalidArgumentError(
+      StrCat("plan codec: unknown value tag ", static_cast<int>(tag)));
+}
+
+Result<RaExprPtr> ReadExpr(Cursor& cursor, int depth) {
+  if (depth > kMaxExprDepth) {
+    return InvalidArgumentError(
+        "plan codec: expression nesting exceeds the depth cap");
+  }
+  LCP_ASSIGN_OR_RETURN(uint8_t tag, cursor.U8());
+  if (tag == kExprNull) return RaExprPtr(nullptr);
+  switch (static_cast<RaExpr::Op>(tag)) {
+    case RaExpr::Op::kTempScan: {
+      LCP_ASSIGN_OR_RETURN(std::string table, cursor.String());
+      return RaExpr::TempScan(std::move(table));
+    }
+    case RaExpr::Op::kSingleton:
+      return RaExpr::Singleton();
+    case RaExpr::Op::kProject: {
+      LCP_ASSIGN_OR_RETURN(uint32_t n, cursor.Count("project attr"));
+      std::vector<std::string> attrs;
+      attrs.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        LCP_ASSIGN_OR_RETURN(std::string attr, cursor.String());
+        attrs.push_back(std::move(attr));
+      }
+      LCP_ASSIGN_OR_RETURN(RaExprPtr child, ReadExpr(cursor, depth + 1));
+      if (child == nullptr) {
+        return InvalidArgumentError("plan codec: null child of project");
+      }
+      return RaExpr::Project(std::move(child), std::move(attrs));
+    }
+    case RaExpr::Op::kSelect: {
+      LCP_ASSIGN_OR_RETURN(uint32_t n, cursor.Count("condition"));
+      std::vector<RaExpr::Condition> conditions;
+      conditions.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        LCP_ASSIGN_OR_RETURN(uint8_t kind, cursor.U8());
+        if (kind == kCondAttrEqAttr) {
+          LCP_ASSIGN_OR_RETURN(std::string lhs, cursor.String());
+          LCP_ASSIGN_OR_RETURN(std::string rhs, cursor.String());
+          conditions.push_back(
+              RaExpr::Condition::AttrEqAttr(std::move(lhs), std::move(rhs)));
+        } else if (kind == kCondAttrEqConst) {
+          LCP_ASSIGN_OR_RETURN(std::string lhs, cursor.String());
+          LCP_ASSIGN_OR_RETURN(Value v, ReadValue(cursor));
+          conditions.push_back(
+              RaExpr::Condition::AttrEqConst(std::move(lhs), std::move(v)));
+        } else {
+          return InvalidArgumentError(StrCat(
+              "plan codec: unknown condition kind ", static_cast<int>(kind)));
+        }
+      }
+      LCP_ASSIGN_OR_RETURN(RaExprPtr child, ReadExpr(cursor, depth + 1));
+      if (child == nullptr) {
+        return InvalidArgumentError("plan codec: null child of select");
+      }
+      return RaExpr::Select(std::move(child), std::move(conditions));
+    }
+    case RaExpr::Op::kJoin:
+    case RaExpr::Op::kUnion:
+    case RaExpr::Op::kDifference: {
+      LCP_ASSIGN_OR_RETURN(RaExprPtr left, ReadExpr(cursor, depth + 1));
+      LCP_ASSIGN_OR_RETURN(RaExprPtr right, ReadExpr(cursor, depth + 1));
+      if (left == nullptr || right == nullptr) {
+        return InvalidArgumentError(
+            "plan codec: null child of binary operator");
+      }
+      if (tag == static_cast<uint8_t>(RaExpr::Op::kJoin)) {
+        return RaExpr::Join(std::move(left), std::move(right));
+      }
+      if (tag == static_cast<uint8_t>(RaExpr::Op::kUnion)) {
+        return RaExpr::Union(std::move(left), std::move(right));
+      }
+      return RaExpr::Difference(std::move(left), std::move(right));
+    }
+    case RaExpr::Op::kRename: {
+      LCP_ASSIGN_OR_RETURN(uint32_t n, cursor.Count("rename"));
+      std::vector<std::pair<std::string, std::string>> renames;
+      renames.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        LCP_ASSIGN_OR_RETURN(std::string from, cursor.String());
+        LCP_ASSIGN_OR_RETURN(std::string to, cursor.String());
+        renames.emplace_back(std::move(from), std::move(to));
+      }
+      LCP_ASSIGN_OR_RETURN(RaExprPtr child, ReadExpr(cursor, depth + 1));
+      if (child == nullptr) {
+        return InvalidArgumentError("plan codec: null child of rename");
+      }
+      return RaExpr::Rename(std::move(child), std::move(renames));
+    }
+  }
+  return InvalidArgumentError(
+      StrCat("plan codec: unknown expression tag ", static_cast<int>(tag)));
+}
+
+Result<int32_t> ReadI32(Cursor& cursor) {
+  LCP_ASSIGN_OR_RETURN(uint32_t bits, cursor.U32());
+  return static_cast<int32_t>(bits);
+}
+
+Result<AccessCommand> ReadAccessCommand(Cursor& cursor) {
+  AccessCommand access;
+  LCP_ASSIGN_OR_RETURN(access.method, ReadI32(cursor));
+  LCP_ASSIGN_OR_RETURN(access.input, ReadExpr(cursor, 0));
+  LCP_ASSIGN_OR_RETURN(uint32_t bindings, cursor.Count("input binding"));
+  access.input_binding.reserve(bindings);
+  for (uint32_t i = 0; i < bindings; ++i) {
+    LCP_ASSIGN_OR_RETURN(std::string attr, cursor.String());
+    LCP_ASSIGN_OR_RETURN(int32_t pos, ReadI32(cursor));
+    access.input_binding.emplace_back(std::move(attr), pos);
+  }
+  LCP_ASSIGN_OR_RETURN(uint32_t constants, cursor.Count("constant input"));
+  access.constant_inputs.reserve(constants);
+  for (uint32_t i = 0; i < constants; ++i) {
+    LCP_ASSIGN_OR_RETURN(int32_t pos, ReadI32(cursor));
+    LCP_ASSIGN_OR_RETURN(Value v, ReadValue(cursor));
+    access.constant_inputs.emplace_back(pos, std::move(v));
+  }
+  LCP_ASSIGN_OR_RETURN(access.output_table, cursor.String());
+  LCP_ASSIGN_OR_RETURN(uint32_t columns, cursor.Count("output column"));
+  access.output_columns.reserve(columns);
+  for (uint32_t i = 0; i < columns; ++i) {
+    LCP_ASSIGN_OR_RETURN(std::string attr, cursor.String());
+    LCP_ASSIGN_OR_RETURN(int32_t pos, ReadI32(cursor));
+    access.output_columns.emplace_back(std::move(attr), pos);
+  }
+  LCP_ASSIGN_OR_RETURN(uint32_t equalities, cursor.Count("position equality"));
+  access.position_equalities.reserve(equalities);
+  for (uint32_t i = 0; i < equalities; ++i) {
+    LCP_ASSIGN_OR_RETURN(int32_t a, ReadI32(cursor));
+    LCP_ASSIGN_OR_RETURN(int32_t b, ReadI32(cursor));
+    access.position_equalities.emplace_back(a, b);
+  }
+  LCP_ASSIGN_OR_RETURN(uint32_t pos_consts, cursor.Count("position constant"));
+  access.position_constants.reserve(pos_consts);
+  for (uint32_t i = 0; i < pos_consts; ++i) {
+    LCP_ASSIGN_OR_RETURN(int32_t pos, ReadI32(cursor));
+    LCP_ASSIGN_OR_RETURN(Value v, ReadValue(cursor));
+    access.position_constants.emplace_back(pos, std::move(v));
+  }
+  return access;
+}
+
+}  // namespace
+
+void EncodePlan(const Plan& plan, std::string& out) {
+  PutU8(out, kPlanCodecVersion);
+  PutU32(out, static_cast<uint32_t>(plan.commands.size()));
+  for (const Command& cmd : plan.commands) {
+    if (const auto* access = std::get_if<AccessCommand>(&cmd)) {
+      PutU8(out, kCmdAccess);
+      PutU32(out, static_cast<uint32_t>(access->method));
+      PutExpr(out, access->input);
+      PutU32(out, static_cast<uint32_t>(access->input_binding.size()));
+      for (const auto& [attr, pos] : access->input_binding) {
+        PutString(out, attr);
+        PutU32(out, static_cast<uint32_t>(pos));
+      }
+      PutU32(out, static_cast<uint32_t>(access->constant_inputs.size()));
+      for (const auto& [pos, v] : access->constant_inputs) {
+        PutU32(out, static_cast<uint32_t>(pos));
+        PutValue(out, v);
+      }
+      PutString(out, access->output_table);
+      PutU32(out, static_cast<uint32_t>(access->output_columns.size()));
+      for (const auto& [attr, pos] : access->output_columns) {
+        PutString(out, attr);
+        PutU32(out, static_cast<uint32_t>(pos));
+      }
+      PutU32(out, static_cast<uint32_t>(access->position_equalities.size()));
+      for (const auto& [a, b] : access->position_equalities) {
+        PutU32(out, static_cast<uint32_t>(a));
+        PutU32(out, static_cast<uint32_t>(b));
+      }
+      PutU32(out, static_cast<uint32_t>(access->position_constants.size()));
+      for (const auto& [pos, v] : access->position_constants) {
+        PutU32(out, static_cast<uint32_t>(pos));
+        PutValue(out, v);
+      }
+    } else {
+      const QueryCommand& query = std::get<QueryCommand>(cmd);
+      PutU8(out, kCmdQuery);
+      PutString(out, query.output_table);
+      PutExpr(out, query.expr);
+    }
+  }
+  PutString(out, plan.output_table);
+  PutU32(out, static_cast<uint32_t>(plan.output_attrs.size()));
+  for (const std::string& attr : plan.output_attrs) PutString(out, attr);
+}
+
+Result<Plan> DecodePlan(std::string_view data) {
+  Cursor cursor(data);
+  LCP_ASSIGN_OR_RETURN(uint8_t version, cursor.U8());
+  if (version != kPlanCodecVersion) {
+    return InvalidArgumentError(StrCat("plan codec: unsupported version ",
+                                       static_cast<int>(version),
+                                       " (expected ",
+                                       static_cast<int>(kPlanCodecVersion),
+                                       ")"));
+  }
+  Plan plan;
+  LCP_ASSIGN_OR_RETURN(uint32_t commands, cursor.Count("command"));
+  plan.commands.reserve(commands);
+  for (uint32_t i = 0; i < commands; ++i) {
+    LCP_ASSIGN_OR_RETURN(uint8_t kind, cursor.U8());
+    if (kind == kCmdAccess) {
+      LCP_ASSIGN_OR_RETURN(AccessCommand access, ReadAccessCommand(cursor));
+      plan.commands.emplace_back(std::move(access));
+    } else if (kind == kCmdQuery) {
+      QueryCommand query;
+      LCP_ASSIGN_OR_RETURN(query.output_table, cursor.String());
+      LCP_ASSIGN_OR_RETURN(query.expr, ReadExpr(cursor, 0));
+      plan.commands.emplace_back(std::move(query));
+    } else {
+      return InvalidArgumentError(
+          StrCat("plan codec: unknown command kind ", static_cast<int>(kind)));
+    }
+  }
+  LCP_ASSIGN_OR_RETURN(plan.output_table, cursor.String());
+  LCP_ASSIGN_OR_RETURN(uint32_t attrs, cursor.Count("output attr"));
+  plan.output_attrs.reserve(attrs);
+  for (uint32_t i = 0; i < attrs; ++i) {
+    LCP_ASSIGN_OR_RETURN(std::string attr, cursor.String());
+    plan.output_attrs.push_back(std::move(attr));
+  }
+  if (cursor.remaining() != 0) {
+    return InvalidArgumentError(StrCat("plan codec: ", cursor.remaining(),
+                                       " trailing bytes after plan"));
+  }
+  return plan;
+}
+
+}  // namespace lcp

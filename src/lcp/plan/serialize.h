@@ -1,0 +1,41 @@
+#ifndef LCP_PLAN_SERIALIZE_H_
+#define LCP_PLAN_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "lcp/base/result.h"
+#include "lcp/plan/plan.h"
+
+namespace lcp {
+
+/// Versioned binary codec for Plan — the persistence format behind the plan
+/// cache's crash-safe snapshots (DESIGN.md §12). The encoding is
+/// deterministic and round-trip exact: DecodePlan(EncodePlan(p)) == p
+/// field-for-field (including binding-list order), so snapshot equivalence
+/// can be asserted with Plan's operator==.
+///
+/// Layout (all integers little-endian, lengths u32-prefixed):
+///   u8  version (kPlanCodecVersion)
+///   u32 command count, then per command a u8 kind tag (access/query) and
+///       the command's fields; RA expressions are a pre-order tree walk with
+///       a u8 op tag per node.
+///
+/// The decoder is defensive, never trusting the input: every read is
+/// bounds-checked, lengths are validated against the remaining bytes,
+/// expression nesting is depth-capped, and any violation returns
+/// kInvalidArgument — corrupt input can never crash or over-allocate. It
+/// does *not* re-validate plan semantics against a schema; snapshot loading
+/// runs ValidatePlan separately against the live schema.
+inline constexpr uint8_t kPlanCodecVersion = 1;
+
+/// Appends the encoding of `plan` to `out`.
+void EncodePlan(const Plan& plan, std::string& out);
+
+/// Decodes one plan from exactly `data` (trailing bytes are an error, so
+/// framing bugs surface instead of silently truncating).
+Result<Plan> DecodePlan(std::string_view data);
+
+}  // namespace lcp
+
+#endif  // LCP_PLAN_SERIALIZE_H_

@@ -162,4 +162,6 @@ QueryFingerprint CanonicalizeQuery(const ConjunctiveQuery& query) {
   return fp;
 }
 
+uint64_t FingerprintKeyHash(const std::string& key) { return HashKey(key); }
+
 }  // namespace lcp

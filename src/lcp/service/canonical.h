@@ -58,6 +58,13 @@ struct QueryFingerprintHash {
 /// keys still imply isomorphism); only some cache sharing may be missed.
 QueryFingerprint CanonicalizeQuery(const ConjunctiveQuery& query);
 
+/// The 64-bit digest CanonicalizeQuery stores in QueryFingerprint::hash,
+/// computed from the canonical key alone. Exposed so a persisted cache entry
+/// (which stores only the key) can be rehydrated into a fingerprint whose
+/// hash is guaranteed consistent with live canonicalization — the snapshot
+/// loader must never trust a stored hash it can recompute.
+uint64_t FingerprintKeyHash(const std::string& key);
+
 }  // namespace lcp
 
 #endif  // LCP_SERVICE_CANONICAL_H_

@@ -1,0 +1,201 @@
+#include "lcp/service/coalesce.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <utility>
+#include <vector>
+
+namespace lcp {
+
+/// Coalition lifecycle. All transitions happen under `mutex`:
+///
+///   kPlanning ──PublishPlan──────▶ kResolvedPlan    (followers: kPlan)
+///      │     ──PublishStatus────▶ kResolvedStatus  (followers: kStatus)
+///      │     ──Abandon, waiters──▶ kLeaderless ──first waking follower──▶
+///      │                                            back to kPlanning
+///      │                                            (that follower: kPromoted)
+///      └──Abandon, no waiters / InvalidateBelow──▶ kInvalidated
+///
+/// Followers poll `should_detach` between condition-variable waits, so a
+/// follower's own cancel or deadline exits only that follower.
+struct RequestCoalescer::Flight {
+  enum class State : uint8_t {
+    kPlanning,
+    kLeaderless,
+    kResolvedPlan,
+    kResolvedStatus,
+    kInvalidated,
+  };
+
+  std::string key;
+  /// Immutable after construction; readable without `mutex`.
+  uint64_t epoch = 0;
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  State state = State::kPlanning;
+  std::shared_ptr<const CachedPlan> plan;
+  Status status;
+  size_t waiters = 0;
+};
+
+namespace {
+
+/// How long a follower sleeps between detach-condition polls when no state
+/// transition wakes it. Transitions notify the condition variable, so this
+/// bounds only the latency of noticing the follower's *own* cancel/deadline.
+constexpr std::chrono::milliseconds kDetachPollInterval{2};
+
+}  // namespace
+
+RequestCoalescer::Ticket RequestCoalescer::JoinOrLead(const std::string& key,
+                                                      uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(key);
+  if (it != flights_.end()) {
+    std::shared_ptr<Flight> flight = it->second;
+    if (flight->epoch == epoch) {
+      std::lock_guard<std::mutex> flight_lock(flight->mutex);
+      ++flight->waiters;
+      return Ticket{/*leader=*/false, std::move(flight)};
+    }
+    // The resident coalition is planning for a dead epoch; its plan can no
+    // longer serve anyone. Wake its followers (they re-plan fresh) and take
+    // over the slot.
+    {
+      std::lock_guard<std::mutex> flight_lock(flight->mutex);
+      flight->state = Flight::State::kInvalidated;
+    }
+    flight->cv.notify_all();
+    flights_.erase(it);
+  }
+  auto flight = std::make_shared<Flight>();
+  flight->key = key;
+  flight->epoch = epoch;
+  flights_.emplace(key, flight);
+  return Ticket{/*leader=*/true, std::move(flight)};
+}
+
+void RequestCoalescer::PublishPlan(const std::shared_ptr<Flight>& flight,
+                                   std::shared_ptr<const CachedPlan> plan) {
+  // Drop the table entry first so a racing JoinOrLead either caught this
+  // flight (and gets the plan below) or starts fresh — and a fresh leader's
+  // first move is a cache re-check, so the plan is still shared.
+  Erase(flight);
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    if (flight->state == Flight::State::kInvalidated) return;
+    flight->plan = std::move(plan);
+    flight->state = Flight::State::kResolvedPlan;
+  }
+  flight->cv.notify_all();
+}
+
+void RequestCoalescer::PublishStatus(const std::shared_ptr<Flight>& flight,
+                                     Status status) {
+  Erase(flight);
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    if (flight->state == Flight::State::kInvalidated) return;
+    flight->status = std::move(status);
+    flight->state = Flight::State::kResolvedStatus;
+  }
+  flight->cv.notify_all();
+}
+
+void RequestCoalescer::Abandon(const std::shared_ptr<Flight>& flight) {
+  bool dissolve = false;
+  {
+    std::lock_guard<std::mutex> lock(flight->mutex);
+    if (flight->state == Flight::State::kInvalidated) {
+      dissolve = true;
+    } else if (flight->waiters == 0) {
+      // Nobody to promote; the coalition dissolves so the next request for
+      // this key leads its own flight.
+      flight->state = Flight::State::kInvalidated;
+      dissolve = true;
+    } else {
+      flight->state = Flight::State::kLeaderless;
+    }
+  }
+  flight->cv.notify_all();
+  if (dissolve) Erase(flight);
+}
+
+RequestCoalescer::WaitResult RequestCoalescer::Wait(
+    const std::shared_ptr<Flight>& flight,
+    const std::function<bool()>& should_detach) {
+  std::unique_lock<std::mutex> lock(flight->mutex);
+  for (;;) {
+    switch (flight->state) {
+      case Flight::State::kResolvedPlan:
+        --flight->waiters;
+        return WaitResult{Outcome::kPlan, flight->plan, Status()};
+      case Flight::State::kResolvedStatus:
+        --flight->waiters;
+        return WaitResult{Outcome::kStatus, nullptr, flight->status};
+      case Flight::State::kInvalidated:
+        --flight->waiters;
+        return WaitResult{Outcome::kInvalidated, nullptr, Status()};
+      case Flight::State::kLeaderless:
+        // First to wake takes over the leader obligations on this same
+        // flight (even if its own cancel fired — the promoted caller
+        // re-checks and Abandons again, handing off to the next follower).
+        flight->state = Flight::State::kPlanning;
+        --flight->waiters;
+        return WaitResult{Outcome::kPromoted, nullptr, Status()};
+      case Flight::State::kPlanning:
+        break;
+    }
+    if (should_detach && should_detach()) {
+      --flight->waiters;
+      return WaitResult{Outcome::kDetached, nullptr, Status()};
+    }
+    flight->cv.wait_for(lock, kDetachPollInterval);
+  }
+}
+
+void RequestCoalescer::InvalidateBelow(uint64_t epoch) {
+  std::vector<std::shared_ptr<Flight>> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = flights_.begin(); it != flights_.end();) {
+      if (it->second->epoch < epoch) {
+        doomed.push_back(it->second);
+        it = flights_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const std::shared_ptr<Flight>& flight : doomed) {
+    {
+      std::lock_guard<std::mutex> lock(flight->mutex);
+      flight->state = Flight::State::kInvalidated;
+    }
+    flight->cv.notify_all();
+  }
+}
+
+size_t RequestCoalescer::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flights_.size();
+}
+
+size_t RequestCoalescer::waiting() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& entry : flights_) {
+    std::lock_guard<std::mutex> flight_lock(entry.second->mutex);
+    total += entry.second->waiters;
+  }
+  return total;
+}
+
+void RequestCoalescer::Erase(const std::shared_ptr<Flight>& flight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = flights_.find(flight->key);
+  if (it != flights_.end() && it->second == flight) flights_.erase(it);
+}
+
+}  // namespace lcp

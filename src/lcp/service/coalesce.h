@@ -1,0 +1,123 @@
+#ifndef LCP_SERVICE_COALESCE_H_
+#define LCP_SERVICE_COALESCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "lcp/base/status.h"
+#include "lcp/service/plan_cache.h"
+
+namespace lcp {
+
+/// Single-flight coalescing of concurrent proof searches (DESIGN.md §12).
+///
+/// When N requests for the same canonical fingerprint miss the cache at the
+/// same time, only the first — the coalition *leader* — runs the proof
+/// search; the other N-1 become *followers* and block until the leader
+/// publishes the plan (or a definite failure). Each follower then executes
+/// its own plan instance under its own deadline and cancel token — only the
+/// planning work is shared, never the response.
+///
+/// Coalitions are keyed by (canonical key, serving epoch): an epoch bump
+/// mid-flight invalidates the coalition, because the plan being searched for
+/// was requested under a schema/availability state that no longer serves.
+///
+/// Leader failure semantics distinguish *leader-specific* aborts from
+/// *definite* outcomes:
+///   - the leader's own cancel or deadline says nothing about the query, so
+///     the leader Abandon()s and the first waking follower is promoted to
+///     run its own search (kPromoted);
+///   - a definite planning failure (e.g. no access path exists) is published
+///     and propagated to every follower (kStatus) — N requests for an
+///     unplannable query still cost one search.
+/// A follower's cancel or deadline detaches only that follower (kDetached);
+/// the coalition survives for the rest.
+///
+/// The coalescer owns no threads: leaders and followers run on the service's
+/// workers, and every transition happens under the flight's mutex.
+class RequestCoalescer {
+ public:
+  /// Opaque shared state of one in-flight coalition.
+  struct Flight;
+
+  struct Ticket {
+    /// True: the caller must run the search and then call exactly one of
+    /// PublishPlan / PublishStatus / Abandon. False: the caller must call
+    /// Wait.
+    bool leader = false;
+    std::shared_ptr<Flight> flight;
+  };
+
+  enum class Outcome : uint8_t {
+    kPlan,         ///< Leader published a plan; execute it.
+    kStatus,       ///< Leader published a definite failure; propagate it.
+    kPromoted,     ///< Leader abandoned; this follower is the new leader.
+    kDetached,     ///< This follower's own cancel/deadline fired.
+    kInvalidated,  ///< Serving epoch moved mid-flight; re-plan fresh.
+  };
+
+  struct WaitResult {
+    Outcome outcome = Outcome::kInvalidated;
+    std::shared_ptr<const CachedPlan> plan;  ///< Set iff kPlan.
+    Status status;                           ///< Set iff kStatus.
+  };
+
+  RequestCoalescer() = default;
+  RequestCoalescer(const RequestCoalescer&) = delete;
+  RequestCoalescer& operator=(const RequestCoalescer&) = delete;
+
+  /// Joins the in-flight coalition for (key, epoch), creating it (and making
+  /// the caller its leader) if none exists. An existing coalition for the
+  /// key at a *different* epoch is invalidated and replaced.
+  Ticket JoinOrLead(const std::string& key, uint64_t epoch);
+
+  /// Leader: hands `plan` to every waiting follower and dissolves the
+  /// coalition. No-op if the coalition was already invalidated.
+  void PublishPlan(const std::shared_ptr<Flight>& flight,
+                   std::shared_ptr<const CachedPlan> plan);
+
+  /// Leader: propagates a definite failure to every follower. Only use for
+  /// outcomes that are properties of the query (it cannot be planned), not
+  /// of this request (its deadline); for the latter use Abandon.
+  void PublishStatus(const std::shared_ptr<Flight>& flight, Status status);
+
+  /// Leader: steps down without a result (cancelled / out of budget). The
+  /// first follower to wake is promoted (its Wait returns kPromoted and it
+  /// takes over the leader obligations on the same flight); with no
+  /// followers the coalition dissolves.
+  void Abandon(const std::shared_ptr<Flight>& flight);
+
+  /// Follower: blocks until the leader resolves the flight, this follower is
+  /// promoted, the epoch is invalidated, or `should_detach` returns true
+  /// (polled; covers the follower's own cancel token and deadline).
+  WaitResult Wait(const std::shared_ptr<Flight>& flight,
+                  const std::function<bool()>& should_detach);
+
+  /// Invalidates every coalition whose epoch is below `epoch`: waiting
+  /// followers wake with kInvalidated and the leader's eventual publish
+  /// becomes a no-op. Called on schema refresh and availability bumps.
+  void InvalidateBelow(uint64_t epoch);
+
+  /// In-flight coalitions (test/ops probe).
+  size_t inflight() const;
+
+  /// Followers currently parked across all coalitions (test/ops probe;
+  /// takes the table and per-flight locks).
+  size_t waiting() const;
+
+ private:
+  /// Drops `flight` from the table if it is still the resident coalition for
+  /// its key (a replacement may already have taken the slot).
+  void Erase(const std::shared_ptr<Flight>& flight);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_SERVICE_COALESCE_H_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "lcp/plan/serialize.h"
+
 namespace lcp {
 
 namespace {
@@ -10,6 +12,17 @@ size_t RoundUpToPowerOfTwo(size_t n) {
   size_t p = 1;
   while (p < n) p <<= 1;
   return p;
+}
+
+/// Serialized footprint of one entry: the binary plan encoding plus the
+/// canonical key plus the snapshot frame's fixed overhead (length + CRC +
+/// epoch/cost/key-length fields, ~32 bytes). Computed once per insert —
+/// inserts happen at most once per proof search, so the encoding pass is
+/// noise next to the search it follows.
+size_t ApproxEntryBytes(const Plan& plan, const std::string& key) {
+  std::string encoded;
+  EncodePlan(plan, encoded);
+  return encoded.size() + key.size() + 32;
 }
 
 }  // namespace
@@ -28,7 +41,7 @@ PlanCache::PlanCache(const Options& options) {
 }
 
 std::shared_ptr<const CachedPlan> PlanCache::Lookup(
-    const QueryFingerprint& fingerprint, uint64_t epoch) {
+    const QueryFingerprint& fingerprint, uint64_t epoch, bool count_stats) {
   Shard& shard = ShardFor(fingerprint);
   std::shared_ptr<const CachedPlan> found;
   bool stale = false;
@@ -42,17 +55,20 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
         found = it->second->plan;
       } else {
         // Planned under a different schema epoch: dead weight, drop it now.
+        shard.approx_bytes -= it->second->plan->approx_bytes;
         shard.lru.erase(it->second);
         shard.map.erase(it);
         stale = true;
       }
     }
   }
-  if (found != nullptr) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    if (stale) stale_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (count_stats) {
+    if (found != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      if (stale) stale_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return found;
 }
@@ -60,8 +76,9 @@ std::shared_ptr<const CachedPlan> PlanCache::Lookup(
 std::shared_ptr<const CachedPlan> PlanCache::Insert(
     const QueryFingerprint& fingerprint, uint64_t epoch, Plan plan,
     double cost, bool detour) {
-  auto entry = std::make_shared<const CachedPlan>(
-      CachedPlan{fingerprint, epoch, std::move(plan), cost, detour});
+  size_t approx_bytes = ApproxEntryBytes(plan, fingerprint.key);
+  auto entry = std::make_shared<const CachedPlan>(CachedPlan{
+      fingerprint, epoch, std::move(plan), cost, detour, approx_bytes});
   Shard& shard = ShardFor(fingerprint);
   uint64_t evicted = 0;
   std::shared_ptr<const CachedPlan> resident;
@@ -79,13 +96,17 @@ std::shared_ptr<const CachedPlan> PlanCache::Insert(
         return it->second->plan;
       }
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      shard.approx_bytes -= it->second->plan->approx_bytes;
+      shard.approx_bytes += entry->approx_bytes;
       it->second->plan = entry;
       replacements_.fetch_add(1, std::memory_order_relaxed);
       return entry;
     }
     shard.lru.push_front(Entry{entry});
     shard.map.emplace(fingerprint.key, shard.lru.begin());
+    shard.approx_bytes += entry->approx_bytes;
     while (shard.lru.size() > capacity_per_shard_) {
+      shard.approx_bytes -= shard.lru.back().plan->approx_bytes;
       shard.map.erase(shard.lru.back().plan->fingerprint.key);
       shard.lru.pop_back();
       ++evicted;
@@ -103,6 +124,7 @@ void PlanCache::EvictBelowEpoch(uint64_t epoch) {
     std::lock_guard<std::mutex> lock(shard->mutex);
     for (auto it = shard->lru.begin(); it != shard->lru.end();) {
       if (it->plan->epoch < epoch) {
+        shard->approx_bytes -= it->plan->approx_bytes;
         shard->map.erase(it->plan->fingerprint.key);
         it = shard->lru.erase(it);
         ++dropped;
@@ -135,7 +157,24 @@ PlanCacheStats PlanCache::stats() const {
   s.admission_rejects = admission_rejects_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.shard_entries.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.shard_entries.push_back(shard->lru.size());
+    s.entries += shard->lru.size();
+    s.approx_bytes += shard->approx_bytes;
+  }
   return s;
+}
+
+std::vector<std::shared_ptr<const CachedPlan>> PlanCache::Entries() const {
+  std::vector<std::shared_ptr<const CachedPlan>> out;
+  out.reserve(size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const Entry& entry : shard->lru) out.push_back(entry.plan);
+  }
+  return out;
 }
 
 }  // namespace lcp

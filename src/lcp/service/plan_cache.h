@@ -34,6 +34,11 @@ struct CachedPlan {
   /// are marked degraded: a cheaper primary plan may exist once the outage
   /// heals (the epoch bump on recovery makes this entry unreachable then).
   bool detour = false;
+  /// Approximate resident/persisted footprint of this entry: the binary plan
+  /// encoding plus the canonical key plus fixed framing overhead, computed
+  /// once at insertion. Powers PlanCacheStats::approx_bytes, which sizes
+  /// snapshots before they are written.
+  size_t approx_bytes = 0;
 };
 
 /// Point-in-time counter snapshot. All counters are cumulative since
@@ -48,6 +53,13 @@ struct PlanCacheStats {
   uint64_t admission_rejects = 0;  ///< Kept a cheaper same-epoch incumbent.
   uint64_t evictions = 0;          ///< LRU capacity evictions.
   uint64_t invalidations = 0;      ///< Entries dropped by EvictBelowEpoch.
+  /// Occupancy gauges (unlike the counters above, these take each shard's
+  /// mutex briefly — stats() is an ops/test probe, not a hot path). Sizing a
+  /// snapshot is the motivating consumer: `approx_bytes` is the sum of the
+  /// per-entry serialized footprints, so it predicts the snapshot file size.
+  uint64_t entries = 0;               ///< Total resident entries.
+  uint64_t approx_bytes = 0;          ///< Sum of CachedPlan::approx_bytes.
+  std::vector<uint64_t> shard_entries;  ///< Resident entries per shard.
 };
 
 /// A sharded, epoch-aware LRU cache from canonical query fingerprints to
@@ -85,9 +97,12 @@ class PlanCache {
 
   /// Returns the cached plan for `fingerprint` at `epoch` and promotes it to
   /// most-recently-used, or nullptr on miss (including an epoch mismatch,
-  /// which drops the stale entry).
+  /// which drops the stale entry). Pass `count_stats = false` for internal
+  /// re-checks (e.g. a coalition leader closing the miss-to-join race) so a
+  /// single request never counts two lookups against the hit rate.
   std::shared_ptr<const CachedPlan> Lookup(const QueryFingerprint& fingerprint,
-                                           uint64_t epoch);
+                                           uint64_t epoch,
+                                           bool count_stats = true);
 
   /// Inserts `plan` under (fingerprint, epoch), evicting the shard's LRU
   /// entry if at capacity. Returns the resident entry for the key after the
@@ -105,8 +120,17 @@ class PlanCache {
   /// Total resident entries (sums shard sizes; takes each shard mutex).
   size_t size() const;
 
-  /// Lock-free counter snapshot.
+  /// Counter snapshot. Counters are read lock-free; the occupancy gauges
+  /// (entries / approx_bytes / shard_entries) take each shard's mutex
+  /// briefly, so this is an ops/test probe rather than a hot-path call.
   PlanCacheStats stats() const;
+
+  /// Copies every resident entry's shared_ptr, all shards and all epochs,
+  /// in shard order (MRU first within a shard). The snapshot writer's
+  /// enumeration point; callers filter by epoch and detour themselves. Each
+  /// shard is locked only while it is copied, so entries inserted or evicted
+  /// concurrently may or may not appear — fine for a best-effort snapshot.
+  std::vector<std::shared_ptr<const CachedPlan>> Entries() const;
 
  private:
   struct Entry {
@@ -119,6 +143,9 @@ class PlanCache {
     /// Front = most recently used.
     std::list<Entry> lru;
     std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    /// Running sum of the resident entries' CachedPlan::approx_bytes,
+    /// maintained at insert/replace/evict under `mutex`.
+    size_t approx_bytes = 0;
   };
 
   Shard& ShardFor(const QueryFingerprint& fingerprint) {

@@ -5,6 +5,7 @@
 
 #include "lcp/base/strings.h"
 #include "lcp/service/canonical.h"
+#include "lcp/service/snapshot.h"
 
 namespace lcp {
 
@@ -77,6 +78,16 @@ QueryService::QueryService(const AccessibleSchema* accessible,
     if (options_.health.clock == nullptr) options_.health.clock = clock_;
     health_ = std::make_unique<SourceHealthRegistry>(&accessible_->base(),
                                                      options_.health);
+  }
+  // Warm restart: rehydrate the cache before any worker can serve, so the
+  // very first request already probes a warmed cache. Corruption of any kind
+  // degrades to a cold start (counters record what was rejected).
+  LoadSnapshotAtStartup();
+  if (!options_.snapshot_path.empty() && options_.cache_enabled &&
+      options_.snapshot_interval_micros > 0) {
+    next_snapshot_at_.store(
+        clock_->NowMicros() + options_.snapshot_interval_micros,
+        std::memory_order_relaxed);
   }
   int workers = options_.num_workers < 1 ? 1 : options_.num_workers;
   workers_.reserve(workers);
@@ -216,6 +227,9 @@ uint64_t QueryService::RefreshSchema() {
     // the schema epoch: everything below the new schema epoch's band is
     // stale regardless of availability epoch.
     cache_.EvictBelowEpoch(next << kAvailabilityEpochBits);
+    // In-flight coalitions were searching for a dead epoch's plan: wake
+    // their followers so each re-plans under the new epoch.
+    coalescer_.InvalidateBelow(next << kAvailabilityEpochBits);
   }
   return epoch_.load(std::memory_order_relaxed);
 }
@@ -226,6 +240,7 @@ uint64_t QueryService::BumpEpoch() {
   epoch_.store(next, std::memory_order_release);
   epoch_bumps_.fetch_add(1, std::memory_order_relaxed);
   cache_.EvictBelowEpoch(next << kAvailabilityEpochBits);
+  coalescer_.InvalidateBelow(next << kAvailabilityEpochBits);
   return next;
 }
 
@@ -270,11 +285,85 @@ ServiceStats QueryService::SnapshotStats() const {
     s.methods_quarantined = health_->NumQuarantined();
     s.availability_epoch = health_->availability_epoch();
   }
+  s.snapshots_written = snapshots_written_.load(std::memory_order_relaxed);
+  s.snapshot_write_failures =
+      snapshot_write_failures_.load(std::memory_order_relaxed);
+  s.snapshot_entries_persisted =
+      snapshot_entries_persisted_.load(std::memory_order_relaxed);
+  s.snapshots_loaded = snapshots_loaded_.load(std::memory_order_relaxed);
+  s.snapshots_rejected = snapshots_rejected_.load(std::memory_order_relaxed);
+  s.snapshot_entries_loaded =
+      snapshot_entries_loaded_.load(std::memory_order_relaxed);
+  s.snapshot_entries_rejected_corrupt =
+      snapshot_entries_rejected_corrupt_.load(std::memory_order_relaxed);
+  s.snapshot_entries_rejected_stale =
+      snapshot_entries_rejected_stale_.load(std::memory_order_relaxed);
+  s.coalesced_leaders = coalesced_leaders_.load(std::memory_order_relaxed);
+  s.coalesced_followers = coalesced_followers_.load(std::memory_order_relaxed);
+  s.coalition_handoffs = coalition_handoffs_.load(std::memory_order_relaxed);
+  s.coalesced_waiting = coalescer_.waiting();
   s.queue_micros = queue_micros_.load(std::memory_order_relaxed);
   s.plan_micros = plan_micros_.load(std::memory_order_relaxed);
   s.exec_micros = exec_micros_.load(std::memory_order_relaxed);
   s.cache = cache_.stats();
   return s;
+}
+
+void QueryService::LoadSnapshotAtStartup() {
+  if (options_.snapshot_path.empty() || !options_.cache_enabled) return;
+  const SnapshotLoadStats loaded = LoadSnapshotFile(
+      options_.snapshot_path, schema_fingerprint_.load(std::memory_order_relaxed),
+      accessible_->base(), ServingEpoch(epoch_.load(std::memory_order_relaxed)),
+      cache_);
+  if (!loaded.found) return;  // Cold start: no file yet (or unreadable).
+  if (!loaded.header_ok) {
+    // Wrong magic/version or a different schema: the whole file is useless,
+    // but that is a normal cold start, not an error.
+    snapshots_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  snapshots_loaded_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_entries_loaded_.fetch_add(loaded.entries_loaded,
+                                     std::memory_order_relaxed);
+  snapshot_entries_rejected_corrupt_.fetch_add(loaded.entries_rejected_corrupt,
+                                               std::memory_order_relaxed);
+  snapshot_entries_rejected_stale_.fetch_add(loaded.entries_rejected_stale,
+                                             std::memory_order_relaxed);
+}
+
+bool QueryService::WriteSnapshot() {
+  if (options_.snapshot_path.empty() || !options_.cache_enabled) return false;
+  // One writer at a time; the rename at the end is atomic, so a reader (a
+  // restarting process) always sees a complete file.
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  SnapshotWriteStats stats;
+  const Status status = WriteSnapshotFile(
+      options_.snapshot_path, cache_.Entries(),
+      ServingEpoch(epoch_.load(std::memory_order_acquire)),
+      schema_fingerprint_.load(std::memory_order_acquire), &stats);
+  if (!status.ok()) {
+    snapshot_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  snapshots_written_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_entries_persisted_.fetch_add(stats.entries_persisted,
+                                        std::memory_order_relaxed);
+  return true;
+}
+
+void QueryService::MaybeWriteSnapshot() {
+  int64_t due = next_snapshot_at_.load(std::memory_order_relaxed);
+  if (due < 0) return;  // Interval snapshots disabled.
+  const int64_t now = clock_->NowMicros();
+  if (now < due) return;
+  // The CAS elects exactly one writer per interval; losers see a future due
+  // time and return without touching the snapshot mutex.
+  if (!next_snapshot_at_.compare_exchange_strong(
+          due, now + options_.snapshot_interval_micros,
+          std::memory_order_relaxed)) {
+    return;
+  }
+  WriteSnapshot();
 }
 
 size_t QueryService::QueueDepth() const {
@@ -317,6 +406,19 @@ void QueryService::Shutdown(ShutdownMode mode) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Drain shutdown persists the final cache state exactly once, after the
+  // workers are quiescent — the snapshot sees everything the last request
+  // planned. Abort shutdown skips it: an abort is for getting out fast, and
+  // the previous interval/drain snapshot is still on disk and still valid.
+  // The flag also settles the decision for the destructor's implicit drain,
+  // so an explicit abort is never overruled by a later Shutdown() call.
+  if (!final_snapshot_written_) {
+    final_snapshot_written_ = true;
+    if (mode == ShutdownMode::kDrain && !options_.snapshot_path.empty() &&
+        options_.cache_enabled) {
+      WriteSnapshot();
+    }
+  }
 }
 
 void QueryService::WorkerLoop() {
@@ -358,6 +460,10 @@ void QueryService::WorkerLoop() {
       std::lock_guard<std::mutex> lock(queue_mutex_);
       inflight_.erase(job.ticket);
     }
+    // Interval snapshots piggyback on request completion: an idle service
+    // writes nothing (its cache is not changing), and no dedicated thread is
+    // needed. The due check is one relaxed load on the common path.
+    MaybeWriteSnapshot();
   }
 }
 
@@ -470,6 +576,122 @@ std::shared_ptr<const CachedPlan> QueryService::PlanAndCache(
   }
 }
 
+std::shared_ptr<const CachedPlan> QueryService::PlanCoalesced(
+    const Job& job, const QueryFingerprint& fingerprint,
+    uint64_t& serving_epoch, QueryResponse& response) {
+  if (!options_.coalescing_enabled || job.request.skip_cache) {
+    return PlanAndCache(job, fingerprint, serving_epoch,
+                        /*allow_primary_fallback=*/true, response);
+  }
+  // Outer loop: one iteration per coalition joined. Re-entered only when an
+  // epoch bump invalidated the previous coalition mid-wait; the bound is a
+  // backstop against pathological epoch churn, after which the request
+  // plans solo rather than spinning.
+  for (int round = 0; round < 16; ++round) {
+    RequestCoalescer::Ticket ticket =
+        coalescer_.JoinOrLead(fingerprint.key, serving_epoch);
+    bool act_as_leader = ticket.leader;
+    bool invalidated = false;
+    while (!act_as_leader) {
+      RequestCoalescer::WaitResult wait =
+          coalescer_.Wait(ticket.flight, [&]() {
+            if (job.cancel != nullptr && job.cancel->cancelled()) return true;
+            return job.deadline_at >= 0 &&
+                   clock_->NowMicros() >= job.deadline_at;
+          });
+      switch (wait.outcome) {
+        case RequestCoalescer::Outcome::kPlan:
+          // The leader's search fed this request; the follower now executes
+          // its own instance of the shared plan under its own deadline.
+          coalesced_followers_.fetch_add(1, std::memory_order_relaxed);
+          return wait.plan;
+        case RequestCoalescer::Outcome::kStatus:
+          // A definite property of the query (e.g. no plan exists), not of
+          // the leader's request: honest to propagate without re-searching.
+          coalesced_followers_.fetch_add(1, std::memory_order_relaxed);
+          response.status = wait.status;
+          return nullptr;
+        case RequestCoalescer::Outcome::kDetached:
+          response.status =
+              (job.cancel != nullptr && job.cancel->cancelled())
+                  ? Status(job.cancel->code(),
+                           "request cancelled while waiting for coalesced "
+                           "plan")
+                  : DeadlineExceededError(
+                        "deadline expired while waiting for coalesced plan");
+          return nullptr;
+        case RequestCoalescer::Outcome::kInvalidated:
+          invalidated = true;
+          break;
+        case RequestCoalescer::Outcome::kPromoted:
+          coalition_handoffs_.fetch_add(1, std::memory_order_relaxed);
+          // Promotion hands this follower the leader obligations — but its
+          // own cancel/deadline may be why it woke. A dead promotee hands
+          // off again immediately instead of searching for nobody.
+          if (job.cancel != nullptr && job.cancel->cancelled()) {
+            coalescer_.Abandon(ticket.flight);
+            response.status = Status(job.cancel->code(),
+                                     "request cancelled while coalesced");
+            return nullptr;
+          }
+          if (job.deadline_at >= 0 &&
+              clock_->NowMicros() >= job.deadline_at) {
+            coalescer_.Abandon(ticket.flight);
+            response.status = DeadlineExceededError(
+                "deadline expired while waiting for coalesced plan");
+            return nullptr;
+          }
+          act_as_leader = true;
+          break;
+      }
+      if (invalidated) break;
+    }
+    if (invalidated) {
+      // The serving epoch moved while we waited; whatever the old leader
+      // finds can no longer serve. Re-resolve and re-join under the new
+      // epoch (the cache re-check below covers a plan already landed there).
+      response.epoch = epoch_.load(std::memory_order_acquire);
+      serving_epoch = ServingEpoch(response.epoch);
+      continue;
+    }
+    // Leader path. Between this request's cache miss and its join, a
+    // previous coalition may have resolved and dissolved — re-check the
+    // cache before paying a search, and feed any hit to our followers.
+    if (options_.cache_enabled) {
+      std::shared_ptr<const CachedPlan> cached =
+          cache_.Lookup(fingerprint, serving_epoch, /*count_stats=*/false);
+      if (cached != nullptr) {
+        response.cache_hit = true;
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        coalescer_.PublishPlan(ticket.flight, cached);
+        return cached;
+      }
+    }
+    coalesced_leaders_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<const CachedPlan> plan =
+        PlanAndCache(job, fingerprint, serving_epoch,
+                     /*allow_primary_fallback=*/true, response);
+    if (plan != nullptr) {
+      coalescer_.PublishPlan(ticket.flight, plan);
+      return plan;
+    }
+    // Leader-specific aborts (this request's cancel or budget/deadline) say
+    // nothing about the query — hand the search to a follower. Everything
+    // else (kNotFound, kInvalidArgument, internal errors) is a definite
+    // outcome every follower should share.
+    const StatusCode code = response.status.code();
+    if (code == StatusCode::kCancelled ||
+        code == StatusCode::kDeadlineExceeded) {
+      coalescer_.Abandon(ticket.flight);
+    } else {
+      coalescer_.PublishStatus(ticket.flight, response.status);
+    }
+    return nullptr;
+  }
+  return PlanAndCache(job, fingerprint, serving_epoch,
+                      /*allow_primary_fallback=*/true, response);
+}
+
 QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
   const QueryRequest& request = job.request;
   QueryResponse response;
@@ -505,8 +727,7 @@ QueryResponse QueryService::Serve(const Job& job, AccessSource* source) {
       response.cache_hit = true;
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      plan = PlanAndCache(job, fingerprint, serving_epoch,
-                          /*allow_primary_fallback=*/true, response);
+      plan = PlanCoalesced(job, fingerprint, serving_epoch, response);
     }
   }
   const int64_t planned = clock_->NowMicros();

@@ -22,6 +22,7 @@
 #include "lcp/planner/proof_search.h"
 #include "lcp/runtime/executor.h"
 #include "lcp/runtime/health.h"
+#include "lcp/service/coalesce.h"
 #include "lcp/service/plan_cache.h"
 
 namespace lcp {
@@ -108,6 +109,25 @@ struct ServiceOptions {
   /// Pass selection and fixpoint bound when optimize_plans is set
   /// (overrides `search.optimizer`).
   plan_opt::OptimizerOptions optimizer;
+  /// Crash-safe warm restarts (DESIGN.md §12): when non-empty (and the cache
+  /// is enabled), the service loads a plan-cache snapshot from this path at
+  /// construction — every loaded plan is CRC-checked, defensively decoded,
+  /// and re-validated against the live schema; a corrupt, truncated, or
+  /// schema-stale file degrades to a cold start, never an error — and writes
+  /// one atomically on Shutdown(kDrain). Empty = no persistence.
+  std::string snapshot_path;
+  /// When > 0 (and snapshot_path is set), additionally writes a snapshot in
+  /// the background roughly every this many clock micros, piggybacked on
+  /// request completion (an idle service writes nothing — nothing changed).
+  /// 0 = shutdown-only snapshots.
+  int64_t snapshot_interval_micros = 0;
+  /// Single-flight request coalescing (DESIGN.md §12): concurrent cache
+  /// misses on the same canonical fingerprint share one proof search — one
+  /// leader plans, followers wait for the published plan and then execute
+  /// their own instances under their own deadlines and cancel tokens. Off =
+  /// the historic behavior (every miss searches). skip_cache requests always
+  /// bypass coalescing: they explicitly demand a fresh search.
+  bool coalescing_enabled = true;
 };
 
 /// One query-answering request.
@@ -211,6 +231,29 @@ struct ServiceStats {
   uint64_t recoveries = 0;          ///< Probes that re-admitted a method.
   uint64_t methods_quarantined = 0;  ///< Currently excluded methods (gauge).
   uint64_t availability_epoch = 0;   ///< Current availability epoch (gauge).
+  /// Plan-cache persistence counters (all zero when snapshots are disabled).
+  uint64_t snapshots_written = 0;
+  uint64_t snapshot_write_failures = 0;     ///< I/O failures (non-fatal).
+  uint64_t snapshot_entries_persisted = 0;  ///< Entries across all writes.
+  uint64_t snapshots_loaded = 0;      ///< Files accepted (header valid).
+  uint64_t snapshots_rejected = 0;    ///< Files found but rejected whole
+                                      ///< (bad magic/version/schema).
+  uint64_t snapshot_entries_loaded = 0;
+  uint64_t snapshot_entries_rejected_corrupt = 0;  ///< CRC/frame/decode.
+  uint64_t snapshot_entries_rejected_stale = 0;    ///< Failed ValidatePlan.
+  /// Single-flight coalescing counters (zero when coalescing is disabled).
+  /// Coalition leaders that paid a proof search on behalf of their flight
+  /// (a leader whose post-join cache re-check hits is a cache hit instead).
+  uint64_t coalesced_leaders = 0;
+  /// Requests served by another request's search outcome — a shared plan or
+  /// a definite status — with no search of their own. Counted at delivery,
+  /// so every completed request lands in exactly one of cache_hits,
+  /// searches, or coalesced_followers.
+  uint64_t coalesced_followers = 0;
+  uint64_t coalition_handoffs = 0;   ///< Followers promoted after the leader
+                                     ///< abandoned (cancel/deadline).
+  uint64_t coalesced_waiting = 0;    ///< Gauge: followers parked on an
+                                     ///< in-flight coalition right now.
   /// Totals for deriving means; on the service clock.
   int64_t queue_micros = 0;
   int64_t plan_micros = 0;
@@ -310,6 +353,14 @@ class QueryService {
   /// Lock-free stats snapshot (service counters + cache counters).
   ServiceStats SnapshotStats() const;
 
+  /// Writes a plan-cache snapshot to ServiceOptions::snapshot_path now
+  /// (atomically: temp file + fsync + rename). Returns true on success,
+  /// false when persistence is disabled or the write failed (counted in
+  /// snapshot_write_failures). Safe from any thread; concurrent writers
+  /// serialize. Also called automatically on the snapshot interval and on
+  /// Shutdown(kDrain).
+  bool WriteSnapshot();
+
   /// Current number of queued (not yet dequeued) requests. Takes the queue
   /// lock; intended for ops probes and tests, not hot paths.
   size_t QueueDepth() const;
@@ -384,6 +435,26 @@ class QueryService {
       uint64_t serving_epoch, bool allow_primary_fallback,
       QueryResponse& response);
 
+  /// PlanAndCache behind the single-flight coalescer (DESIGN.md §12): joins
+  /// or leads the coalition for (fingerprint, serving_epoch). Leaders search
+  /// and publish; followers wait, detaching on their own cancel/deadline and
+  /// taking over (promotion) when the leader abandons. `serving_epoch` is
+  /// a reference because an epoch bump mid-flight re-resolves it. Falls
+  /// through to plain PlanAndCache when coalescing is off or the request
+  /// skips the cache.
+  std::shared_ptr<const CachedPlan> PlanCoalesced(
+      const Job& job, const QueryFingerprint& fingerprint,
+      uint64_t& serving_epoch, QueryResponse& response);
+
+  /// Loads the snapshot at construction (counters record the outcome; any
+  /// corruption degrades to a cold start).
+  void LoadSnapshotAtStartup();
+
+  /// Piggybacked on request completion: writes a snapshot when the interval
+  /// has elapsed. Exactly one worker wins the due-time CAS; the rest return
+  /// immediately.
+  void MaybeWriteSnapshot();
+
   const AccessibleSchema* accessible_;
   const CostFunction* cost_;
   SourceFactory source_factory_;
@@ -394,6 +465,7 @@ class QueryService {
   /// Null when failover is disabled or no source factory was given (plan-only
   /// services have no executor feedback to learn from).
   std::unique_ptr<SourceHealthRegistry> health_;
+  RequestCoalescer coalescer_;
 
   std::atomic<uint64_t> epoch_;
   std::atomic<uint64_t> schema_fingerprint_;
@@ -436,6 +508,26 @@ class QueryService {
   std::atomic<int64_t> queue_micros_{0};
   std::atomic<int64_t> plan_micros_{0};
   std::atomic<int64_t> exec_micros_{0};
+
+  std::atomic<uint64_t> snapshots_written_{0};
+  std::atomic<uint64_t> snapshot_write_failures_{0};
+  std::atomic<uint64_t> snapshot_entries_persisted_{0};
+  std::atomic<uint64_t> snapshots_loaded_{0};
+  std::atomic<uint64_t> snapshots_rejected_{0};
+  std::atomic<uint64_t> snapshot_entries_loaded_{0};
+  std::atomic<uint64_t> snapshot_entries_rejected_corrupt_{0};
+  std::atomic<uint64_t> snapshot_entries_rejected_stale_{0};
+  std::atomic<uint64_t> coalesced_leaders_{0};
+  std::atomic<uint64_t> coalesced_followers_{0};
+  std::atomic<uint64_t> coalition_handoffs_{0};
+  /// Next interval snapshot's due time on the service clock; workers race on
+  /// a CAS so exactly one pays the write.
+  std::atomic<int64_t> next_snapshot_at_{-1};
+  /// Serializes snapshot writes (interval + explicit + shutdown).
+  std::mutex snapshot_mutex_;
+  /// Set once the drain-shutdown snapshot has been written (guarded by
+  /// join_mutex_, like the join it rides on).
+  bool final_snapshot_written_ = false;
 };
 
 }  // namespace lcp

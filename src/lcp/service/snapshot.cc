@@ -1,0 +1,198 @@
+#include "lcp/service/snapshot.h"
+
+#include <cstring>
+#include <utility>
+
+#include "lcp/base/crc32.h"
+#include "lcp/base/file_io.h"
+#include "lcp/base/result.h"
+#include "lcp/plan/serialize.h"
+#include "lcp/plan/validate.h"
+#include "lcp/service/canonical.h"
+
+namespace lcp {
+
+namespace {
+
+void PutU32(uint32_t v, std::string& out) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::string& out) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+constexpr size_t kHeaderSize = sizeof(kSnapshotMagic) + 1 + 8;
+constexpr size_t kFrameHeaderSize = 8;  // u32 length + u32 CRC.
+
+/// One decoded entry payload, before schema validation.
+struct DecodedEntry {
+  std::string key;
+  double cost = 0;
+  Plan plan;
+};
+
+/// Parses a CRC-verified payload. Returns kInvalidArgument on any structural
+/// violation — the CRC passing only proves the bytes are what the writer
+/// wrote, not that a hostile or version-skewed writer wrote sense.
+Result<DecodedEntry> ParsePayload(std::string_view payload) {
+  if (payload.size() < 4) {
+    return Status(StatusCode::kInvalidArgument, "entry payload too short");
+  }
+  uint32_t key_len = GetU32(payload.data());
+  payload.remove_prefix(4);
+  if (payload.size() < static_cast<size_t>(key_len) + 8) {
+    return Status(StatusCode::kInvalidArgument, "entry key overruns payload");
+  }
+  DecodedEntry entry;
+  entry.key.assign(payload.data(), key_len);
+  payload.remove_prefix(key_len);
+  uint64_t cost_bits = GetU64(payload.data());
+  payload.remove_prefix(8);
+  std::memcpy(&entry.cost, &cost_bits, sizeof(entry.cost));
+  Result<Plan> plan = DecodePlan(payload);
+  if (!plan.ok()) return plan.status();
+  entry.plan = std::move(*plan);
+  return entry;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(
+    const std::vector<std::shared_ptr<const CachedPlan>>& entries,
+    uint64_t serving_epoch, uint64_t schema_fingerprint,
+    SnapshotWriteStats* stats) {
+  std::string out;
+  out.append(kSnapshotMagic, sizeof(kSnapshotMagic));
+  out.push_back(static_cast<char>(kSnapshotVersion));
+  PutU64(schema_fingerprint, out);
+  SnapshotWriteStats local;
+  std::string payload;
+  for (const auto& entry : entries) {
+    if (entry == nullptr) continue;
+    if (entry->detour) {
+      ++local.entries_skipped_detour;
+      continue;
+    }
+    if (entry->epoch != serving_epoch) {
+      ++local.entries_skipped_epoch;
+      continue;
+    }
+    payload.clear();
+    PutU32(static_cast<uint32_t>(entry->fingerprint.key.size()), payload);
+    payload.append(entry->fingerprint.key);
+    uint64_t cost_bits = 0;
+    std::memcpy(&cost_bits, &entry->cost, sizeof(cost_bits));
+    PutU64(cost_bits, payload);
+    EncodePlan(entry->plan, payload);
+    PutU32(static_cast<uint32_t>(payload.size()), out);
+    PutU32(Crc32(payload), out);
+    out.append(payload);
+    ++local.entries_persisted;
+  }
+  local.bytes = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+SnapshotLoadStats DecodeSnapshotInto(std::string_view data,
+                                     uint64_t schema_fingerprint,
+                                     const Schema& schema,
+                                     uint64_t serving_epoch,
+                                     PlanCache& cache) {
+  SnapshotLoadStats stats;
+  stats.bytes = data.size();
+  if (data.size() < kHeaderSize ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0 ||
+      static_cast<uint8_t>(data[sizeof(kSnapshotMagic)]) != kSnapshotVersion ||
+      GetU64(data.data() + sizeof(kSnapshotMagic) + 1) != schema_fingerprint) {
+    // Wrong file type, format version skew, or a snapshot from a different
+    // schema: nothing in it can be trusted to plan today's queries. Whole
+    // file rejected; the caller degrades to a cold start.
+    return stats;
+  }
+  stats.header_ok = true;
+  data.remove_prefix(kHeaderSize);
+  while (!data.empty()) {
+    if (data.size() < kFrameHeaderSize) {
+      // Torn frame header: crash mid-write truncated the tail.
+      ++stats.entries_rejected_corrupt;
+      break;
+    }
+    uint32_t length = GetU32(data.data());
+    uint32_t stored_crc = GetU32(data.data() + 4);
+    data.remove_prefix(kFrameHeaderSize);
+    if (length > data.size()) {
+      // Either a torn tail or a flipped bit in the length field; there is no
+      // way to find the next frame boundary, so skip the suffix.
+      ++stats.entries_rejected_corrupt;
+      break;
+    }
+    std::string_view payload = data.substr(0, length);
+    data.remove_prefix(length);
+    if (Crc32(payload) != stored_crc) {
+      ++stats.entries_rejected_corrupt;
+      continue;  // This frame's bounds were plausible; try the next one.
+    }
+    Result<DecodedEntry> entry = ParsePayload(payload);
+    if (!entry.ok()) {
+      ++stats.entries_rejected_corrupt;
+      continue;
+    }
+    if (!ValidatePlan(entry->plan, schema).ok()) {
+      // Structurally intact but wrong for the live schema (the fingerprint
+      // matched, so this means fingerprint collision or semantic drift the
+      // fingerprint doesn't cover). Never admit a plan that can't execute.
+      ++stats.entries_rejected_stale;
+      continue;
+    }
+    QueryFingerprint fingerprint;
+    fingerprint.key = std::move(entry->key);
+    fingerprint.hash = FingerprintKeyHash(fingerprint.key);
+    cache.Insert(fingerprint, serving_epoch, std::move(entry->plan),
+                 entry->cost, /*detour=*/false);
+    ++stats.entries_loaded;
+  }
+  return stats;
+}
+
+Status WriteSnapshotFile(
+    const std::string& path,
+    const std::vector<std::shared_ptr<const CachedPlan>>& entries,
+    uint64_t serving_epoch, uint64_t schema_fingerprint,
+    SnapshotWriteStats* stats) {
+  std::string encoded =
+      EncodeSnapshot(entries, serving_epoch, schema_fingerprint, stats);
+  return AtomicWriteFile(path, encoded);
+}
+
+SnapshotLoadStats LoadSnapshotFile(const std::string& path,
+                                   uint64_t schema_fingerprint,
+                                   const Schema& schema,
+                                   uint64_t serving_epoch, PlanCache& cache) {
+  Result<std::string> data = ReadFileToString(path);
+  if (!data.ok()) return SnapshotLoadStats{};
+  SnapshotLoadStats stats =
+      DecodeSnapshotInto(*data, schema_fingerprint, schema, serving_epoch,
+                         cache);
+  stats.found = true;
+  return stats;
+}
+
+}  // namespace lcp

@@ -30,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <random>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -297,6 +298,145 @@ size_t RunScenario(const ChaosWorld& world, uint64_t seed) {
     EXPECT_EQ(stats.quarantines, 0u) << "seed " << seed;
   }
   return handles.size();
+}
+
+/// Coalescing-focused chaos: duplicate-heavy bursts race many identical
+/// requests through the single-flight path while cancels and epoch bumps
+/// try to break coalitions mid-flight. Faults, failover, deadlines,
+/// skip_cache, and admission shedding are all disabled, so the proof-search
+/// count obeys a crisp scheduling-independent bound:
+///
+///   searches <= distinct_keys * (1 + epoch_bumps) + cancels
+///
+/// Per (key, epoch band) at most one search completes — coalescing and the
+/// leader's post-join cache re-check close every resolve-vs-join race — and
+/// each cancel can add at most one extra attempt (a cancelled leader's
+/// aborted search, redone by the promoted follower). Seeds that happen to
+/// schedule no cancels and no bumps therefore collapse to the strongest
+/// form: searches <= distinct_keys.
+size_t RunCoalescingScenario(const ChaosWorld& world, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&rng](int bound) {
+    return static_cast<int>(rng() % static_cast<uint64_t>(bound));
+  };
+  auto unit = [&rng] {
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  };
+
+  SharedVirtualClock clock;
+  ServiceOptions options;
+  options.num_workers = 2 + pick(7);
+  options.max_queue_depth = 0;  // unbounded: no shedding noise in the bound
+  options.cache.num_shards = 1 + pick(4);
+  options.clock = &clock;
+  options.failover_enabled = false;
+
+  const Schema* schema = world.schema.get();
+  const Instance* instance = world.instance.get();
+  std::atomic<uint64_t> source_seed{seed * 733u + 1};
+  auto factory = [schema, instance, &source_seed, &clock] {
+    return std::make_unique<ChaosSource>(
+        schema, instance, FaultProfile{},
+        source_seed.fetch_add(1, std::memory_order_relaxed), &clock);
+  };
+  QueryService service(world.accessible.get(), world.cost.get(), factory,
+                       options);
+
+  std::vector<SubmitHandle> handles;
+  std::set<size_t> distinct;
+  uint64_t bumps = 0;
+  uint64_t cancels = 0;
+  const int bursts = 3 + pick(4);
+  for (int burst = 0; burst < bursts; ++burst) {
+    const int size = 4 + pick(13);
+    for (int i = 0; i < size; ++i) {
+      QueryRequest request;
+      // Zipf-flavoured duplicates: most of a burst lands on query 0, the
+      // rest spread uniformly — exactly the mix coalescing exists for.
+      const size_t which =
+          unit() < 0.7 ? 0
+                       : static_cast<size_t>(
+                             pick(static_cast<int>(world.queries.size())));
+      distinct.insert(which);
+      request.query = world.queries[which];
+      request.execute = unit() < 0.7;
+      handles.push_back(service.Submit(std::move(request)));
+    }
+    const int actions = pick(4);
+    for (int a = 0; a < actions; ++a) {
+      switch (pick(3)) {
+        case 0:
+          if (!handles.empty() &&
+              service.Cancel(handles[static_cast<size_t>(pick(
+                                         static_cast<int>(handles.size())))]
+                                 .ticket)) {
+            ++cancels;
+          }
+          break;
+        case 1:
+          service.BumpEpoch();
+          ++bumps;
+          break;
+        default:
+          (void)service.SnapshotStats();
+          break;
+      }
+    }
+    if (pick(2) == 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  // Always drain: an abort cancels in-flight leaders outside the counted
+  // cancel schedule, which would loosen the search bound.
+  service.Shutdown(ShutdownMode::kDrain);
+
+  for (SubmitHandle& handle : handles) {
+    if (handle.future.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      ADD_FAILURE() << "seed " << seed
+                    << ": a future is unresolved after Shutdown";
+      continue;
+    }
+    const QueryResponse response = handle.future.get();
+    const StatusCode code = response.status.code();
+    EXPECT_TRUE(code == StatusCode::kOk || code == StatusCode::kCancelled)
+        << "seed " << seed << ": unexpected terminal status "
+        << response.status;
+  }
+
+  const ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.submitted, handles.size()) << "seed " << seed;
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.rejected + stats.shed + stats.cancelled)
+      << "seed " << seed << ": lifecycle conservation violated";
+  EXPECT_LE(stats.searches,
+            static_cast<uint64_t>(distinct.size()) * (1 + bumps) + cancels)
+      << "seed " << seed << ": coalescing failed to bound proof searches ("
+      << distinct.size() << " distinct keys, " << bumps << " bumps, "
+      << cancels << " cancels)";
+  if (bumps == 0 && cancels == 0) {
+    EXPECT_LE(stats.searches, static_cast<uint64_t>(distinct.size()))
+        << "seed " << seed;
+  }
+  // Request-level accounting: every completed request was fed by exactly one
+  // of the cache, its own search, or a coalition leader's search.
+  EXPECT_LE(stats.coalesced_followers, stats.completed) << "seed " << seed;
+  EXPECT_EQ(stats.coalesced_waiting, 0u)
+      << "seed " << seed << ": followers still parked after Shutdown";
+  return handles.size();
+}
+
+TEST(ServiceCoalescingChaosTest, DuplicateHeavyBurstsShareSearches) {
+  const ChaosWorld world = MakeWorld();
+  const int iters = EnvInt("LCP_CHAOS_ITERS", 25);
+  const uint64_t base =
+      static_cast<uint64_t>(EnvInt("LCP_CHAOS_SEED", 1)) + 0x5eed;
+  size_t total = 0;
+  for (int i = 0; i < iters; ++i) {
+    total += RunCoalescingScenario(world, base + static_cast<uint64_t>(i));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  EXPECT_GT(total, static_cast<size_t>(iters));
 }
 
 TEST(ServiceChaosTest, SeededLifecycleScenariosHoldInvariants) {

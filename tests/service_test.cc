@@ -745,10 +745,255 @@ TEST(ServiceStressTest, ConcurrentMixedQueriesWithEpochBumps) {
   EXPECT_EQ(stats.submitted, total);
   EXPECT_EQ(stats.completed, total);
   EXPECT_EQ(stats.failed, 0u);
-  EXPECT_EQ(stats.cache_hits + stats.searches, total)
-      << "every request either hit the cache or ran a proof search";
+  EXPECT_EQ(stats.cache_hits + stats.searches + stats.coalesced_followers,
+            total)
+      << "every request either hit the cache, ran a proof search, or was "
+         "fed by a coalition leader's search";
   EXPECT_GE(stats.epoch_bumps, 1u);
   EXPECT_EQ(service.epoch(), stats.epoch_bumps + 1);
+}
+
+// --- single-flight coalescing ----------------------------------------------
+
+/// A cost function whose every Cost() call first waits at the gate: holds a
+/// worker *inside its proof search* (rather than inside execution, where
+/// GatedSource blocks), so a test can pile identical requests onto a search
+/// that is provably still in flight.
+class GatedCostFunction : public CostFunction {
+ public:
+  GatedCostFunction(const Schema* schema, Gate* gate)
+      : base_(schema), gate_(gate) {}
+  double Cost(const Plan& plan) const override {
+    gate_->Pass();
+    return base_.Cost(plan);
+  }
+
+ private:
+  SimpleCostFunction base_;
+  Gate* gate_;
+};
+
+/// Spins (real time) until `predicate` holds. The surrounding ctest timeout
+/// bounds a wedged spin.
+template <typename Predicate>
+void SpinUntil(Predicate predicate) {
+  while (!predicate()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ServiceCoalescingTest, ConcurrentIdenticalSubmitsShareOneSearch) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  GatedCostFunction cost(fx.schema.get(), &gate);
+  ServiceOptions options;
+  options.num_workers = 4;
+  QueryService service(fx.accessible.get(), &cost, fx.Factory(), options);
+
+  QueryRequest request;
+  request.query = fx.query;
+  // The first submit provably leads: it is inside its proof search (blocked
+  // at the gate) before any other request exists.
+  auto leader = service.Submit(QueryRequest(request));
+  gate.AwaitArrival();
+  std::vector<std::future<QueryResponse>> followers;
+  for (int i = 0; i < 3; ++i) {
+    followers.push_back(service.Submit(QueryRequest(request)).future);
+  }
+  // All three are parked on the leader's flight before the search finishes.
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 3; });
+  gate.Open();
+
+  std::set<Tuple> oracle = Oracle(fx.query, *fx.instance);
+  QueryResponse led = leader.future.get();
+  ASSERT_TRUE(led.status.ok()) << led.status;
+  EXPECT_EQ(Rows(led), oracle);
+  for (auto& future : followers) {
+    QueryResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_FALSE(response.cache_hit);
+    EXPECT_EQ(Rows(response), oracle);
+  }
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 1u) << "one proof search fed all four requests";
+  EXPECT_EQ(stats.coalesced_leaders, 1u);
+  EXPECT_EQ(stats.coalesced_followers, 3u);
+  EXPECT_EQ(stats.coalition_handoffs, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.coalesced_waiting, 0u);
+
+  // The coalition's plan landed in the cache: the next request hits it.
+  QueryResponse after = service.Call(QueryRequest(request));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_TRUE(after.cache_hit);
+  service.Shutdown();
+  ExpectConservation(service.SnapshotStats());
+}
+
+TEST(ServiceCoalescingTest, FollowerCancelDetachesOnlyThatFollower) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  GatedCostFunction cost(fx.schema.get(), &gate);
+  ServiceOptions options;
+  options.num_workers = 3;
+  QueryService service(fx.accessible.get(), &cost, fx.Factory(), options);
+
+  QueryRequest request;
+  request.query = fx.query;
+  auto leader = service.Submit(QueryRequest(request));
+  gate.AwaitArrival();
+  auto doomed = service.Submit(QueryRequest(request));
+  auto survivor = service.Submit(QueryRequest(request));
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 2; });
+
+  // Cancelling a parked follower detaches it without touching the search.
+  EXPECT_TRUE(service.Cancel(doomed.ticket));
+  QueryResponse detached = doomed.future.get();
+  EXPECT_EQ(detached.status.code(), StatusCode::kCancelled);
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 1; });
+
+  gate.Open();
+  std::set<Tuple> oracle = Oracle(fx.query, *fx.instance);
+  QueryResponse led = leader.future.get();
+  ASSERT_TRUE(led.status.ok()) << led.status;
+  EXPECT_EQ(Rows(led), oracle);
+  QueryResponse served = survivor.future.get();
+  ASSERT_TRUE(served.status.ok()) << served.status;
+  EXPECT_EQ(Rows(served), oracle);
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 1u);
+  EXPECT_EQ(stats.coalesced_leaders, 1u);
+  EXPECT_EQ(stats.coalesced_followers, 1u)
+      << "only the surviving follower was fed by the leader's search";
+  EXPECT_EQ(stats.coalition_handoffs, 0u);
+  service.Shutdown();
+  ExpectConservation(service.SnapshotStats());
+}
+
+TEST(ServiceCoalescingTest, LeaderCancelHandsTheSearchToAFollower) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  GatedCostFunction cost(fx.schema.get(), &gate);
+  ServiceOptions options;
+  options.num_workers = 3;
+  QueryService service(fx.accessible.get(), &cost, fx.Factory(), options);
+
+  QueryRequest request;
+  request.query = fx.query;
+  auto leader = service.Submit(QueryRequest(request));
+  gate.AwaitArrival();
+  std::vector<std::future<QueryResponse>> followers;
+  followers.push_back(service.Submit(QueryRequest(request)).future);
+  followers.push_back(service.Submit(QueryRequest(request)).future);
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 2; });
+
+  // Cancel the leader *before* releasing the gate: when its search winds
+  // down it must abandon the flight, and exactly one follower is promoted
+  // to run the search itself (the gate is open by then).
+  EXPECT_TRUE(service.Cancel(leader.ticket));
+  gate.Open();
+
+  QueryResponse led = leader.future.get();
+  EXPECT_EQ(led.status.code(), StatusCode::kCancelled);
+  std::set<Tuple> oracle = Oracle(fx.query, *fx.instance);
+  for (auto& future : followers) {
+    QueryResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(Rows(response), oracle);
+  }
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.coalition_handoffs, 1u);
+  EXPECT_EQ(stats.searches, 2u)
+      << "the cancelled leader's aborted search plus the promotee's";
+  EXPECT_EQ(stats.coalesced_leaders, 2u)
+      << "the original leader and the promoted follower both led a search";
+  EXPECT_EQ(stats.coalesced_followers, 1u);
+  EXPECT_EQ(stats.cancelled + stats.completed, 3u);
+  service.Shutdown();
+  ExpectConservation(service.SnapshotStats());
+}
+
+TEST(ServiceCoalescingTest, EpochBumpInvalidatesTheCoalitionMidFlight) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  GatedCostFunction cost(fx.schema.get(), &gate);
+  ServiceOptions options;
+  options.num_workers = 3;
+  QueryService service(fx.accessible.get(), &cost, fx.Factory(), options);
+
+  QueryRequest request;
+  request.query = fx.query;
+  auto old_leader = service.Submit(QueryRequest(request));
+  gate.AwaitArrival();
+  std::vector<std::future<QueryResponse>> followers;
+  followers.push_back(service.Submit(QueryRequest(request)).future);
+  followers.push_back(service.Submit(QueryRequest(request)).future);
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 2; });
+
+  // The bump invalidates the in-flight coalition: both followers wake,
+  // re-resolve the epoch, and form a *new* coalition — one promotes itself
+  // to lead a fresh search (and blocks at the still-closed gate), the other
+  // parks on the new flight.
+  service.BumpEpoch();
+  SpinUntil([&] { return gate.arrivals.load(std::memory_order_acquire) >= 2; });
+  SpinUntil([&] { return service.SnapshotStats().coalesced_waiting == 1; });
+  gate.Open();
+
+  std::set<Tuple> oracle = Oracle(fx.query, *fx.instance);
+  QueryResponse led = old_leader.future.get();
+  ASSERT_TRUE(led.status.ok()) << led.status;
+  EXPECT_EQ(Rows(led), oracle) << "the old leader still serves its caller";
+  for (auto& future : followers) {
+    QueryResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(Rows(response), oracle);
+  }
+
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 2u)
+      << "one search per epoch band: the old leader's and the new leader's";
+  EXPECT_EQ(stats.coalesced_leaders, 2u);
+  EXPECT_EQ(stats.coalesced_followers, 1u);
+  EXPECT_EQ(stats.coalition_handoffs, 0u);
+  EXPECT_EQ(stats.epoch_bumps, 1u);
+  service.Shutdown();
+  ExpectConservation(service.SnapshotStats());
+}
+
+TEST(ServiceCoalescingTest, DisabledCoalescingPlansEveryRequestSolo) {
+  ServiceFixture fx = MakeProfinfoFixture();
+  Gate gate;
+  GatedCostFunction cost(fx.schema.get(), &gate);
+  ServiceOptions options;
+  options.num_workers = 3;
+  options.coalescing_enabled = false;
+  QueryService service(fx.accessible.get(), &cost, fx.Factory(), options);
+
+  QueryRequest request;
+  request.query = fx.query;
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.Submit(QueryRequest(request)).future);
+  }
+  // All three run their own search: three workers reach the gate.
+  SpinUntil([&] { return gate.arrivals.load(std::memory_order_acquire) >= 3; });
+  gate.Open();
+
+  std::set<Tuple> oracle = Oracle(fx.query, *fx.instance);
+  for (auto& future : futures) {
+    QueryResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status;
+    EXPECT_EQ(Rows(response), oracle);
+  }
+  ServiceStats stats = service.SnapshotStats();
+  EXPECT_EQ(stats.searches, 3u);
+  EXPECT_EQ(stats.coalesced_leaders, 0u);
+  EXPECT_EQ(stats.coalesced_followers, 0u);
+  service.Shutdown();
 }
 
 }  // namespace
