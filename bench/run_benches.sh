@@ -48,7 +48,10 @@
 # plan: BM_ExecuteRowOracle (tuple-at-a-time) vs BM_ExecuteVectorized
 # (columnar batches) at growing instance sizes. Both produce bit-identical
 # results; the summary prints the vectorized speedup per size (target:
-# >= 5x on the larger sizes).
+# >= 5x on the larger sizes). BM_ExecuteMorsel sweeps the morsel-driven
+# parallel engine (workers x size, DESIGN.md §13); its summary prints the
+# worker-scaling curve next to `host_cores` — on a 1-core runner the curve
+# measures scheduling overhead, not speedup.
 #
 # BENCH_parallel.json covers the work-stealing parallel proof search
 # (BM_ParallelSearch, workers 1/2/4/8 on the hard chain workload). Every row
@@ -89,12 +92,51 @@ for bin in "${CHASE_BIN}" "${RUNTIME_BIN}" "${SERVICE_BIN}" \
   fi
 done
 
+# Refuse to record a perf trajectory from a debug build of this repo:
+# debug timings are not comparable to the committed Release numbers. The
+# check reads CMAKE_BUILD_TYPE from the build tree's cache. Set
+# LCP_ALLOW_DEBUG_BENCH=1 to override for local debugging; do not commit
+# the resulting JSONs. (The separate library_build_type field in the JSON
+# context describes how the *google-benchmark library* was compiled — a
+# distro debug library only adds harness overhead; a warning for that is
+# printed after the first report below.)
+CMAKE_BUILD_TYPE=""
+if [[ -f "${BUILD_DIR}/CMakeCache.txt" ]]; then
+  CMAKE_BUILD_TYPE="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' \
+    "${BUILD_DIR}/CMakeCache.txt" | head -1)"
+fi
+case "${CMAKE_BUILD_TYPE}" in
+  Release|RelWithDebInfo|MinSizeRel) ;;
+  *)
+    if [[ "${LCP_ALLOW_DEBUG_BENCH:-0}" != "1" ]]; then
+      echo "error: ${BUILD_DIR} is not a Release build" >&2
+      echo "  (CMAKE_BUILD_TYPE='${CMAKE_BUILD_TYPE}'); rebuild with" >&2
+      echo "  cmake -B ${BUILD_DIR} -S . -DCMAKE_BUILD_TYPE=Release" >&2
+      echo "  or set LCP_ALLOW_DEBUG_BENCH=1 to run anyway (do not" >&2
+      echo "  commit the resulting JSONs)" >&2
+      exit 1
+    fi
+    echo "warning: recording benchmarks from a non-Release build" \
+      "(CMAKE_BUILD_TYPE='${CMAKE_BUILD_TYPE}')" >&2
+    ;;
+esac
+
 "${CHASE_BIN}" \
   --benchmark_out="${OUT_JSON}" \
   --benchmark_out_format=json \
   ${BENCH_MIN_TIME:+--benchmark_min_time="${BENCH_MIN_TIME}"}
 
 echo "wrote ${OUT_JSON}"
+
+# Loud warning when the google-benchmark *library* itself is a debug build
+# (context.library_build_type): the harness adds overhead it wouldn't in a
+# release library. Nothing this script can fix — the library ships with the
+# machine — but readers of the committed JSONs should know.
+if grep -q '"library_build_type": *"debug"' "${OUT_JSON}"; then
+  echo "warning: the google-benchmark LIBRARY on this host is a debug" >&2
+  echo "  build (library_build_type=debug in the JSON context); absolute" >&2
+  echo "  timings include extra harness overhead" >&2
+fi
 
 "${RUNTIME_BIN}" \
   --benchmark_out="${RUNTIME_OUT_JSON}" \
@@ -258,14 +300,15 @@ fi
 echo "wrote ${RUNTIME_EXEC_OUT_JSON}"
 
 # Vectorized-vs-row speedup on the join-heavy execution plan, per instance
-# size. Informational, like the other summaries.
+# size, plus the morsel-parallel worker-scaling curve. Informational, like
+# the other summaries.
 if command -v python3 >/dev/null 2>&1; then
   python3 - "${RUNTIME_EXEC_OUT_JSON}" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-row, vec = {}, {}
+row, vec, morsel = {}, {}, {}
 for b in report.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
@@ -277,10 +320,28 @@ for b in report.get("benchmarks", []):
         row[n] = b["real_time"]
     elif name.startswith("BM_ExecuteVectorized/"):
         vec[n] = b["real_time"]
+    elif name.startswith("BM_ExecuteMorsel/"):
+        workers = name.split("workers:")[1].split("/")[0]
+        morsel[(n, int(workers))] = b
 for n in sorted(row, key=int):
     if n in vec and vec[n] > 0:
         print(f"vectorized speedup (n={n}): {row[n] / vec[n]:.1f}x "
               f"(row {row[n]:.2f}ms -> vectorized {vec[n]:.2f}ms)")
+if morsel:
+    cores = int(next(iter(morsel.values())).get("host_cores", 0))
+    print(f"morsel-parallel execution (host cores: {cores}):")
+    for n in sorted({k[0] for k in morsel}, key=int):
+        base = morsel.get((n, 1), {}).get("real_time")
+        for w in sorted(w for (nn, w) in morsel if nn == n):
+            b = morsel[(n, w)]
+            t = b["real_time"]
+            speedup = f"{base / t:.2f}x" if base and t else "n/a"
+            print(f"  n={n} workers={w}: {t:.2f} ms, speedup {speedup} "
+                  f"(morsels {b.get('morsels', 0):,.0f}, "
+                  f"build partitions {b.get('build_partitions', 0):,.0f})")
+    if cores <= 1:
+        print("  note: 1-core host; the worker sweep measures scheduling "
+              "overhead, not parallel speedup")
 EOF
 fi
 

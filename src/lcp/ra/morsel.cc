@@ -1,0 +1,155 @@
+#include "lcp/ra/morsel.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include <unistd.h>
+
+#include "lcp/base/check.h"
+
+namespace lcp {
+
+namespace {
+
+/// Park timeout between steal scans: long enough to stay off the lock when
+/// idle, short enough that a missed notify costs microseconds.
+constexpr std::chrono::microseconds kParkTimeout(100);
+
+}  // namespace
+
+void MorselScheduler::WorkerLoop(int worker_id) {
+  while (true) {
+    if (auto async = async_tasks_.TrySteal()) {
+      RunAsync(*async);
+      continue;
+    }
+    if (auto task = deques_[worker_id].TryPopBottom()) {
+      (*task)();
+      continue;
+    }
+    bool ran = false;
+    for (int w = 0; w < num_workers_; ++w) {
+      if (w == worker_id) continue;
+      if (auto task = deques_[w].TrySteal()) {
+        (*task)();
+        ran = true;
+        break;
+      }
+    }
+    if (ran) continue;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    gate_.Park(kParkTimeout);
+  }
+}
+
+void MorselScheduler::ParallelFor(size_t count,
+                                  const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+  if (count == 1 || num_workers_ == 1) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  struct Join {
+    std::atomic<size_t> remaining;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining.store(count, std::memory_order_relaxed);
+
+  // Capturing `body` by reference is safe: ParallelFor returns only after
+  // every task ran, and each task is destroyed right after it runs.
+  for (size_t i = 0; i < count; ++i) {
+    deques_[i % num_workers_].PushBottom([join, &body, i] {
+      body(i);
+      if (join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(join->mu);
+        join->cv.notify_all();
+      }
+    });
+  }
+  gate_.NotifyAll();
+
+  // The driver participates: own deque LIFO first, then steal. When neither
+  // yields work but iterations are still running elsewhere, wait on the
+  // join latch (timed, so a racing notify is never lost for long).
+  while (join->remaining.load(std::memory_order_acquire) > 0) {
+    if (auto task = deques_[0].TryPopBottom()) {
+      (*task)();
+      continue;
+    }
+    bool ran = false;
+    for (int w = 1; w < num_workers_; ++w) {
+      if (auto task = deques_[w].TrySteal()) {
+        (*task)();
+        ran = true;
+        break;
+      }
+    }
+    if (ran) continue;
+    std::unique_lock<std::mutex> lock(join->mu);
+    join->cv.wait_for(lock, kParkTimeout, [&] {
+      return join->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+MorselScheduler::Async MorselScheduler::SubmitAsync(std::function<void()> task) {
+  LCP_CHECK(num_workers_ >= 2) << "async tasks need a non-driver worker";
+  Async handle;
+  handle.state_ = std::make_shared<Async::State>();
+  handle.state_->fn = std::move(task);
+  async_tasks_.PushBottom(handle.state_);
+  gate_.NotifyAll();
+  return handle;
+}
+
+void MorselScheduler::RunAsync(const std::shared_ptr<Async::State>& state) {
+  state->fn();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+  }
+  state->cv.notify_all();
+}
+
+void MorselScheduler::Async::Wait() {
+  if (state_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  lock.unlock();
+  state_.reset();
+}
+
+size_t DeriveMorselRows() {
+  long l2 = -1;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+  if (l2 <= 0) l2 = 1 << 21;  // no sysconf answer: assume a 2 MiB L2
+  // A morsel touches a handful of 4-byte code columns on the way in and
+  // out; budget half the L2 at ~32 bytes per row so two operators' morsels
+  // can overlap without thrashing.
+  const size_t rows = static_cast<size_t>(l2) / 2 / 32;
+  return std::min<size_t>(65536, std::max<size_t>(1024, rows));
+}
+
+size_t ParallelMorsels(
+    const MorselContext& ctx, size_t rows,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  const size_t mr = ctx.morsel_rows;
+  const size_t morsels = mr == 0 ? 1 : (rows + mr - 1) / mr;
+  if (ctx.scheduler == nullptr || morsels <= 1) {
+    if (!ctx.Cancelled()) body(0, 0, rows);
+    return 1;
+  }
+  ctx.scheduler->ParallelFor(morsels, [&](size_t m) {
+    if (ctx.Cancelled()) return;
+    body(m, m * mr, std::min(rows, (m + 1) * mr));
+  });
+  return morsels;
+}
+
+}  // namespace lcp

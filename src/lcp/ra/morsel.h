@@ -1,0 +1,122 @@
+#ifndef LCP_RA_MORSEL_H_
+#define LCP_RA_MORSEL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "lcp/base/budget.h"
+#include "lcp/base/work_steal.h"
+
+namespace lcp {
+
+/// Morsel-driven task scheduler for one plan execution (DESIGN.md §13).
+/// Built on the same work-stealing primitives as the parallel planner
+/// (base/work_steal.h: owner-LIFO deques, IdleGate) rather than a second
+/// thread-pool abstraction. Thread lifecycle is the caller's: the executor
+/// wraps one plan in RunWorkers, worker 0 drives the plan and calls
+/// ParallelFor/SubmitAsync, workers 1..n-1 sit in WorkerLoop until
+/// Shutdown.
+///
+/// Only the driver may call ParallelFor and SubmitAsync, and only one
+/// ParallelFor runs at a time — morsel parallelism is fork/join per
+/// operator, never nested, which is what keeps the canonical-order
+/// concatenation argument (and TSan) simple.
+class MorselScheduler {
+ public:
+  explicit MorselScheduler(int num_workers)
+      : num_workers_(num_workers), deques_(num_workers) {}
+
+  int num_workers() const { return num_workers_; }
+
+  /// Body for workers 1..n-1 under RunWorkers: drains async tasks first
+  /// (a freed worker should take over a pending source dispatch so it
+  /// overlaps with the driver's operator work), then its own deque, then
+  /// steals. Returns once Shutdown() was called and no work remains.
+  void WorkerLoop(int worker_id);
+
+  /// Releases WorkerLoop workers. Driver-only, after the plan finished;
+  /// queued work is drained before workers exit.
+  void Shutdown() {
+    shutdown_.store(true, std::memory_order_release);
+    gate_.NotifyAll();
+  }
+
+  /// Driver-only fork/join: runs body(i) for every i in [0, count),
+  /// distributed round-robin over all workers with the driver
+  /// participating; returns only when every iteration has finished.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& body);
+
+  /// Handle to a task submitted with SubmitAsync.
+  class Async {
+   public:
+    Async() = default;
+    bool valid() const { return state_ != nullptr; }
+    /// Blocks until the task has run, then drops the handle.
+    void Wait();
+
+   private:
+    friend class MorselScheduler;
+    struct State {
+      std::function<void()> fn;
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+    };
+    std::shared_ptr<State> state_;
+  };
+
+  /// Driver-only: schedules `task` on a non-driver worker (the driver never
+  /// inlines it, so a ParallelFor on the driver overlaps with the task).
+  /// Requires num_workers >= 2.
+  Async SubmitAsync(std::function<void()> task);
+
+ private:
+  using Task = std::function<void()>;
+
+  void RunAsync(const std::shared_ptr<Async::State>& state);
+
+  const int num_workers_;
+  std::vector<WorkStealingDeque<Task>> deques_;
+  /// Pending async tasks; popped only by worker ids >= 1.
+  WorkStealingDeque<std::shared_ptr<Async::State>> async_tasks_;
+  IdleGate gate_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Rows per morsel derived from the L2 data cache size: a morsel's working
+/// set (a handful of code columns in and out) should stay cache-resident
+/// across an operator's passes. Clamped to [1024, 65536] rows.
+size_t DeriveMorselRows();
+
+/// Per-execution morsel context threaded through the vectorized operators.
+/// Null scheduler (or a batch smaller than one morsel) means the operator
+/// takes its historic sequential path — which is also why
+/// exec_parallelism=1 is byte-identical by construction.
+struct MorselContext {
+  MorselScheduler* scheduler = nullptr;
+  size_t morsel_rows = 0;
+  /// Cancel token polled at morsel boundaries: a tripped token makes
+  /// remaining morsels no-ops and the driver aborts at its next check.
+  const CancelToken* cancel = nullptr;
+
+  bool Parallel(size_t rows) const {
+    return scheduler != nullptr && morsel_rows > 0 && rows > morsel_rows;
+  }
+  bool Cancelled() const { return cancel != nullptr && cancel->cancelled(); }
+};
+
+/// Splits [0, rows) into morsel-sized ranges and runs
+/// body(morsel, begin, end) for each on the scheduler (driver
+/// participates). Morsel bodies are skipped once the cancel token trips —
+/// the caller must check ctx.Cancelled() and discard the partial result.
+/// Returns the number of morsels launched.
+size_t ParallelMorsels(const MorselContext& ctx, size_t rows,
+                       const std::function<void(size_t, size_t, size_t)>& body);
+
+}  // namespace lcp
+
+#endif  // LCP_RA_MORSEL_H_

@@ -19,9 +19,64 @@ void NoteBatch(ExecStats* stats, size_t rows_in, const ColumnBatch& out) {
   stats->max_batch_rows = std::max(stats->max_batch_rows, out.num_rows());
 }
 
+/// True if live rows `a` and `b` agree on every column.
+bool LiveRowsEqual(const ColumnBatch& batch, size_t a, size_t b) {
+  for (size_t c = 0; c < batch.num_attrs(); ++c) {
+    if (batch.At(c, a) != batch.At(c, b)) return false;
+  }
+  return true;
+}
+
+/// Builds `index` over the `rn` rows of `batch` keyed by `cols`: the
+/// partitioned parallel build for large batches (hash pass over morsels,
+/// then one contiguous bucket range per partition owner — see
+/// RowHashIndex::FillBucketRange), the sequential insert-in-row-order loop
+/// otherwise. Both produce bit-identical bucket/entry layouts.
+void BuildRowIndex(const ColumnBatch& batch, const std::vector<int>& cols,
+                   size_t rn, RowHashIndex& index, const MorselContext* ctx,
+                   ExecStats* stats) {
+  if (ctx != nullptr && ctx->Parallel(rn)) {
+    std::vector<size_t> hashes(rn);
+    const size_t morsels =
+        ParallelMorsels(*ctx, rn, [&](size_t, size_t begin, size_t end) {
+          for (size_t r = begin; r < end; ++r) {
+            hashes[r] = HashBatchRow(batch, cols, r);
+          }
+        });
+    index.PrepareDense(rn);
+    const size_t buckets = index.bucket_count();
+    const size_t parts = std::min<size_t>(
+        static_cast<size_t>(ctx->scheduler->num_workers()), buckets);
+    ctx->scheduler->ParallelFor(parts, [&](size_t p) {
+      if (ctx->Cancelled()) return;
+      index.FillBucketRange(hashes, buckets * p / parts,
+                            buckets * (p + 1) / parts);
+    });
+    if (stats != nullptr) {
+      stats->morsels += morsels;
+      stats->parallel_build_partitions += parts;
+    }
+  } else {
+    for (size_t r = 0; r < rn; ++r) {
+      index.Insert(HashBatchRow(batch, cols, r), static_cast<uint32_t>(r));
+    }
+  }
+}
+
+/// Concatenates per-morsel index lists in morsel order (= row order).
+std::vector<uint32_t> ConcatParts(std::vector<std::vector<uint32_t>> parts,
+                                  size_t reserve_hint) {
+  std::vector<uint32_t> out;
+  out.reserve(reserve_hint);
+  for (std::vector<uint32_t>& part : parts) {
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
 Result<ColumnBatch> EvalProject(const ColumnBatch& input,
                                 const std::vector<std::string>& attrs,
-                                ExecStats* stats) {
+                                const MorselContext* ctx, ExecStats* stats) {
   std::vector<int> indexes;
   indexes.reserve(attrs.size());
   for (const std::string& attr : attrs) {
@@ -38,7 +93,7 @@ Result<ColumnBatch> EvalProject(const ColumnBatch& input,
   std::unordered_set<int> kept(indexes.begin(), indexes.end());
   if (kept.size() < input.num_attrs()) {
     size_t dropped = 0;
-    out = out.Deduplicated(&dropped);
+    out = DeduplicatedMorsel(out, ctx, stats, &dropped);
     if (stats != nullptr) stats->dedup_drops += dropped;
   }
   NoteBatch(stats, input.num_rows(), out);
@@ -47,7 +102,8 @@ Result<ColumnBatch> EvalProject(const ColumnBatch& input,
 
 Result<ColumnBatch> EvalSelect(const ColumnBatch& input,
                                const std::vector<RaExpr::Condition>& conditions,
-                               TermPool& pool, ExecStats* stats) {
+                               TermPool& pool, const MorselContext* ctx,
+                               ExecStats* stats) {
   struct ResolvedCondition {
     bool attr_eq_attr;
     int lhs;
@@ -81,21 +137,37 @@ Result<ColumnBatch> EvalSelect(const ColumnBatch& input,
     resolved.push_back(r);
   }
   const size_t n = input.num_rows();
-  std::vector<uint32_t> live;
-  live.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    bool keep = true;
+  auto row_passes = [&](size_t i) {
     for (const ResolvedCondition& r : resolved) {
       const TermCode lhs = input.At(static_cast<size_t>(r.lhs), i);
       const TermCode rhs = r.attr_eq_attr
                                ? input.At(static_cast<size_t>(r.rhs), i)
                                : r.constant;
-      if (lhs != rhs) {
-        keep = false;
-        break;
-      }
+      if (lhs != rhs) return false;
     }
-    if (keep) live.push_back(static_cast<uint32_t>(i));
+    return true;
+  };
+  std::vector<uint32_t> live;
+  if (ctx != nullptr && ctx->Parallel(n)) {
+    // Per-morsel survivor lists, concatenated in morsel order so the live
+    // list is the same ascending row list the sequential scan produces.
+    const size_t mr = ctx->morsel_rows;
+    std::vector<std::vector<uint32_t>> parts((n + mr - 1) / mr);
+    const size_t morsels =
+        ParallelMorsels(*ctx, n, [&](size_t m, size_t begin, size_t end) {
+          std::vector<uint32_t>& part = parts[m];
+          part.reserve(end - begin);
+          for (size_t i = begin; i < end; ++i) {
+            if (row_passes(i)) part.push_back(static_cast<uint32_t>(i));
+          }
+        });
+    if (stats != nullptr) stats->morsels += morsels;
+    live = ConcatParts(std::move(parts), n);
+  } else {
+    live.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (row_passes(i)) live.push_back(static_cast<uint32_t>(i));
+    }
   }
   ColumnBatch out = live.size() == n ? input : input.Filtered(std::move(live));
   NoteBatch(stats, n, out);
@@ -107,7 +179,7 @@ Result<ColumnBatch> EvalSelect(const ColumnBatch& input,
 /// the right, probes the left in live order, and emits matches in right
 /// insertion order — the row evaluator's emission order exactly.
 Result<ColumnBatch> EvalJoin(const ColumnBatch& left, const ColumnBatch& right,
-                             ExecStats* stats) {
+                             const MorselContext* ctx, ExecStats* stats) {
   std::vector<int> shared_left;   // key columns on the left
   std::vector<int> shared_right;  // key columns on the right
   std::vector<int> right_extra;   // right attrs not in left
@@ -126,12 +198,10 @@ Result<ColumnBatch> EvalJoin(const ColumnBatch& left, const ColumnBatch& right,
 
   // Build side: right rows bucketed by key hash (flat chained index;
   // candidates are verified code-by-code, so hash collisions cost time,
-  // never rows).
+  // never rows). Large build sides go through the partitioned parallel
+  // build, which reproduces the sequential layout bit for bit.
   RowHashIndex index(rn);
-  for (size_t r = 0; r < rn; ++r) {
-    index.Insert(HashBatchRow(right, shared_right, r),
-                 static_cast<uint32_t>(r));
-  }
+  BuildRowIndex(right, shared_right, rn, index, ctx, stats);
 
   auto keys_match = [&](size_t l, size_t r) {
     for (size_t k = 0; k < shared_left.size(); ++k) {
@@ -146,11 +216,13 @@ Result<ColumnBatch> EvalJoin(const ColumnBatch& left, const ColumnBatch& right,
   // Probe: gather matching (left, right) live-row index pairs. Matches for
   // one probe key must come out in right insertion order; the multimap does
   // not guarantee that, so bucket candidates are collected and sorted (the
-  // candidate list for one key is typically tiny).
+  // candidate list for one key is typically tiny). Parallel probes keep
+  // per-morsel pair lists and concatenate them in morsel order — the exact
+  // sequential emission order.
   std::vector<uint32_t> l_idx;
   std::vector<uint32_t> r_idx;
-  std::vector<uint32_t> candidates;
-  for (size_t l = 0; l < ln; ++l) {
+  auto probe_row = [&](size_t l, std::vector<uint32_t>& candidates,
+                       std::vector<uint32_t>& ls, std::vector<uint32_t>& rs) {
     const size_t h = HashBatchRow(left, shared_left, l);
     candidates.clear();
     index.ForEachCandidate(h, [&](uint32_t r) {
@@ -159,8 +231,29 @@ Result<ColumnBatch> EvalJoin(const ColumnBatch& left, const ColumnBatch& right,
     });
     std::sort(candidates.begin(), candidates.end());
     for (uint32_t r : candidates) {
-      l_idx.push_back(static_cast<uint32_t>(l));
-      r_idx.push_back(r);
+      ls.push_back(static_cast<uint32_t>(l));
+      rs.push_back(r);
+    }
+  };
+  if (ctx != nullptr && ctx->Parallel(ln)) {
+    const size_t mr = ctx->morsel_rows;
+    const size_t count = (ln + mr - 1) / mr;
+    std::vector<std::vector<uint32_t>> lparts(count);
+    std::vector<std::vector<uint32_t>> rparts(count);
+    const size_t morsels =
+        ParallelMorsels(*ctx, ln, [&](size_t m, size_t begin, size_t end) {
+          std::vector<uint32_t> candidates;
+          for (size_t l = begin; l < end; ++l) {
+            probe_row(l, candidates, lparts[m], rparts[m]);
+          }
+        });
+    if (stats != nullptr) stats->morsels += morsels;
+    l_idx = ConcatParts(std::move(lparts), ln);
+    r_idx = ConcatParts(std::move(rparts), ln);
+  } else {
+    std::vector<uint32_t> candidates;
+    for (size_t l = 0; l < ln; ++l) {
+      probe_row(l, candidates, l_idx, r_idx);
     }
   }
   if (stats != nullptr) stats->probe_hits += l_idx.size();
@@ -170,16 +263,35 @@ Result<ColumnBatch> EvalJoin(const ColumnBatch& left, const ColumnBatch& right,
   for (int j : right_extra) out_attrs.push_back(right.attrs()[j]);
   std::vector<std::vector<TermCode>> out_cols(out_attrs.size());
   const size_t out_n = l_idx.size();
-  for (auto& col : out_cols) col.reserve(out_n);
-  for (size_t c = 0; c < left.num_attrs(); ++c) {
-    for (size_t i = 0; i < out_n; ++i) {
-      out_cols[c].push_back(left.At(c, l_idx[i]));
+  if (ctx != nullptr && ctx->Parallel(out_n)) {
+    for (auto& col : out_cols) col.assign(out_n, 0);
+    const size_t morsels =
+        ParallelMorsels(*ctx, out_n, [&](size_t, size_t begin, size_t end) {
+          for (size_t c = 0; c < left.num_attrs(); ++c) {
+            for (size_t i = begin; i < end; ++i) {
+              out_cols[c][i] = left.At(c, l_idx[i]);
+            }
+          }
+          for (size_t e = 0; e < right_extra.size(); ++e) {
+            const size_t c = static_cast<size_t>(right_extra[e]);
+            for (size_t i = begin; i < end; ++i) {
+              out_cols[left.num_attrs() + e][i] = right.At(c, r_idx[i]);
+            }
+          }
+        });
+    if (stats != nullptr) stats->morsels += morsels;
+  } else {
+    for (auto& col : out_cols) col.reserve(out_n);
+    for (size_t c = 0; c < left.num_attrs(); ++c) {
+      for (size_t i = 0; i < out_n; ++i) {
+        out_cols[c].push_back(left.At(c, l_idx[i]));
+      }
     }
-  }
-  for (size_t e = 0; e < right_extra.size(); ++e) {
-    const size_t c = static_cast<size_t>(right_extra[e]);
-    for (size_t i = 0; i < out_n; ++i) {
-      out_cols[left.num_attrs() + e].push_back(right.At(c, r_idx[i]));
+    for (size_t e = 0; e < right_extra.size(); ++e) {
+      const size_t c = static_cast<size_t>(right_extra[e]);
+      for (size_t i = 0; i < out_n; ++i) {
+        out_cols[left.num_attrs() + e].push_back(right.At(c, r_idx[i]));
+      }
     }
   }
   ColumnBatch out =
@@ -211,21 +323,35 @@ Result<std::vector<int>> AlignAttrs(const std::vector<std::string>& to,
 }
 
 Result<ColumnBatch> EvalUnion(const ColumnBatch& left, const ColumnBatch& right,
-                              ExecStats* stats) {
+                              const MorselContext* ctx, ExecStats* stats) {
   LCP_ASSIGN_OR_RETURN(std::vector<int> perm, AlignAttrs(left.attrs(), right));
   const size_t ln = left.num_rows();
   const size_t rn = right.num_rows();
   std::vector<std::vector<TermCode>> cols(left.num_attrs());
-  for (size_t c = 0; c < left.num_attrs(); ++c) {
-    cols[c].reserve(ln + rn);
-    for (size_t i = 0; i < ln; ++i) cols[c].push_back(left.At(c, i));
-    const size_t rc = static_cast<size_t>(perm[c]);
-    for (size_t i = 0; i < rn; ++i) cols[c].push_back(right.At(rc, i));
+  if (ctx != nullptr && ctx->Parallel(ln + rn)) {
+    for (auto& col : cols) col.assign(ln + rn, 0);
+    const size_t morsels =
+        ParallelMorsels(*ctx, ln + rn, [&](size_t, size_t begin, size_t end) {
+          for (size_t c = 0; c < left.num_attrs(); ++c) {
+            const size_t rc = static_cast<size_t>(perm[c]);
+            for (size_t i = begin; i < end; ++i) {
+              cols[c][i] = i < ln ? left.At(c, i) : right.At(rc, i - ln);
+            }
+          }
+        });
+    if (stats != nullptr) stats->morsels += morsels;
+  } else {
+    for (size_t c = 0; c < left.num_attrs(); ++c) {
+      cols[c].reserve(ln + rn);
+      for (size_t i = 0; i < ln; ++i) cols[c].push_back(left.At(c, i));
+      const size_t rc = static_cast<size_t>(perm[c]);
+      for (size_t i = 0; i < rn; ++i) cols[c].push_back(right.At(rc, i));
+    }
   }
   size_t dropped = 0;
-  ColumnBatch out =
-      ColumnBatch::FromDense(left.attrs(), std::move(cols), ln + rn)
-          .Deduplicated(&dropped);
+  ColumnBatch out = DeduplicatedMorsel(
+      ColumnBatch::FromDense(left.attrs(), std::move(cols), ln + rn), ctx,
+      stats, &dropped);
   if (stats != nullptr) stats->dedup_drops += dropped;
   NoteBatch(stats, ln + rn, out);
   return out;
@@ -233,13 +359,12 @@ Result<ColumnBatch> EvalUnion(const ColumnBatch& left, const ColumnBatch& right,
 
 Result<ColumnBatch> EvalDifference(const ColumnBatch& left,
                                    const ColumnBatch& right,
+                                   const MorselContext* ctx,
                                    ExecStats* stats) {
   LCP_ASSIGN_OR_RETURN(std::vector<int> perm, AlignAttrs(left.attrs(), right));
   const size_t rn = right.num_rows();
   RowHashIndex negatives(rn);
-  for (size_t r = 0; r < rn; ++r) {
-    negatives.Insert(HashBatchRow(right, perm, r), static_cast<uint32_t>(r));
-  }
+  BuildRowIndex(right, perm, rn, negatives, ctx, stats);
   std::vector<int> left_cols(left.num_attrs());
   for (size_t c = 0; c < left.num_attrs(); ++c) {
     left_cols[c] = static_cast<int>(c);
@@ -262,9 +387,23 @@ Result<ColumnBatch> EvalDifference(const ColumnBatch& left,
   };
   const size_t ln = left.num_rows();
   std::vector<uint32_t> live;
-  live.reserve(ln);
-  for (size_t l = 0; l < ln; ++l) {
-    if (!in_right(l)) live.push_back(static_cast<uint32_t>(l));
+  if (ctx != nullptr && ctx->Parallel(ln)) {
+    const size_t mr = ctx->morsel_rows;
+    std::vector<std::vector<uint32_t>> parts((ln + mr - 1) / mr);
+    const size_t morsels =
+        ParallelMorsels(*ctx, ln, [&](size_t m, size_t begin, size_t end) {
+          std::vector<uint32_t>& part = parts[m];
+          for (size_t l = begin; l < end; ++l) {
+            if (!in_right(l)) part.push_back(static_cast<uint32_t>(l));
+          }
+        });
+    if (stats != nullptr) stats->morsels += morsels;
+    live = ConcatParts(std::move(parts), ln);
+  } else {
+    live.reserve(ln);
+    for (size_t l = 0; l < ln; ++l) {
+      if (!in_right(l)) live.push_back(static_cast<uint32_t>(l));
+    }
   }
   ColumnBatch out = live.size() == ln ? left : left.Filtered(std::move(live));
   // A duplicate-free left stays duplicate-free under filtering; only the
@@ -298,9 +437,84 @@ Result<ColumnBatch> EvalRename(
 
 }  // namespace
 
+ColumnBatch DeduplicatedMorsel(const ColumnBatch& batch,
+                               const MorselContext* ctx, ExecStats* stats,
+                               size_t* dropped) {
+  const size_t n = batch.num_rows();
+  if (ctx == nullptr || !ctx->Parallel(n) || batch.num_attrs() == 0 ||
+      ctx->scheduler->num_workers() < 2) {
+    return batch.Deduplicated(dropped);
+  }
+  std::vector<int> all_cols(batch.num_attrs());
+  for (size_t c = 0; c < batch.num_attrs(); ++c) {
+    all_cols[c] = static_cast<int>(c);
+  }
+  // Phase 1: row hashes, morsel-parallel.
+  std::vector<size_t> hashes(n);
+  const size_t morsels =
+      ParallelMorsels(*ctx, n, [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          hashes[i] = HashBatchRow(batch, all_cols, i);
+        }
+      });
+  // Phase 2: hash-partitioned first-occurrence scan. Each of the
+  // (power-of-two, >= workers) partition owners scans all rows in global
+  // order, handles only rows whose mixed hash lands in its partition, and
+  // flags survivors. Equal rows share a hash, hence a partition, so the
+  // keep flags equal the sequential pass's; distinct partitions write
+  // distinct keep bytes, so no atomics are needed. The partition selector
+  // uses the hash's high multiplied bits while the per-partition index
+  // buckets use its low bits, keeping local chains short.
+  size_t partitions = 2;
+  while (partitions < static_cast<size_t>(ctx->scheduler->num_workers())) {
+    partitions <<= 1;
+  }
+  int bits = 1;
+  while ((static_cast<size_t>(1) << bits) < partitions) ++bits;
+  const int shift = 64 - bits;
+  std::vector<uint8_t> keep(n, 0);
+  ctx->scheduler->ParallelFor(partitions, [&](size_t part) {
+    if (ctx->Cancelled()) return;
+    RowHashIndex local(n / partitions + 8);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t h = hashes[i];
+      if ((h * 0x9e3779b97f4a7c15ULL) >> shift != part) continue;
+      bool dup = false;
+      local.ForEachCandidate(h, [&](uint32_t kept_row) {
+        dup = LiveRowsEqual(batch, kept_row, i);
+        return dup;
+      });
+      if (dup) continue;
+      local.Insert(h, static_cast<uint32_t>(i));
+      keep[i] = 1;
+    }
+  });
+  if (stats != nullptr) {
+    stats->morsels += morsels;
+    stats->parallel_build_partitions += partitions;
+  }
+  // Phase 3: the live list in ascending row order = first-appearance order.
+  std::vector<uint32_t> live;
+  live.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (keep[i] != 0) live.push_back(static_cast<uint32_t>(i));
+  }
+  if (dropped != nullptr) *dropped = n - live.size();
+  if (live.size() == n) return batch;
+  return batch.Filtered(std::move(live));
+}
+
 Result<ColumnBatch> EvaluateRaVectorized(const RaExpr& expr,
                                          const BatchEnv& env, TermPool& pool,
-                                         ExecStats* stats) {
+                                         ExecStats* stats,
+                                         const MorselContext* morsels) {
+  // Morsel-boundary cancellation: once the token trips, in-flight morsels
+  // become no-ops and the whole evaluation unwinds here rather than
+  // returning a partially-built batch.
+  if (morsels != nullptr && morsels->Cancelled()) {
+    return Status(morsels->cancel->code(),
+                  "plan execution cancelled at morsel boundary");
+  }
   switch (expr.op()) {
     case RaExpr::Op::kTempScan: {
       auto it = env.find(expr.table());
@@ -313,48 +527,48 @@ Result<ColumnBatch> EvaluateRaVectorized(const RaExpr& expr,
       return ColumnBatch::FromDense({}, {}, 1);
     }
     case RaExpr::Op::kProject: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch child,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
-      return EvalProject(child, expr.attrs(), stats);
+      LCP_ASSIGN_OR_RETURN(ColumnBatch child,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
+      return EvalProject(child, expr.attrs(), morsels, stats);
     }
     case RaExpr::Op::kSelect: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch child,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
-      return EvalSelect(child, expr.conditions(), pool, stats);
+      LCP_ASSIGN_OR_RETURN(ColumnBatch child,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
+      return EvalSelect(child, expr.conditions(), pool, morsels, stats);
     }
     case RaExpr::Op::kJoin: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch left,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch right,
-          EvaluateRaVectorized(*expr.children()[1], env, pool, stats));
-      return EvalJoin(left, right, stats);
+      LCP_ASSIGN_OR_RETURN(ColumnBatch left,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
+      LCP_ASSIGN_OR_RETURN(ColumnBatch right,
+                           EvaluateRaVectorized(*expr.children()[1], env, pool,
+                                                stats, morsels));
+      return EvalJoin(left, right, morsels, stats);
     }
     case RaExpr::Op::kUnion: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch left,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch right,
-          EvaluateRaVectorized(*expr.children()[1], env, pool, stats));
-      return EvalUnion(left, right, stats);
+      LCP_ASSIGN_OR_RETURN(ColumnBatch left,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
+      LCP_ASSIGN_OR_RETURN(ColumnBatch right,
+                           EvaluateRaVectorized(*expr.children()[1], env, pool,
+                                                stats, morsels));
+      return EvalUnion(left, right, morsels, stats);
     }
     case RaExpr::Op::kDifference: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch left,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch right,
-          EvaluateRaVectorized(*expr.children()[1], env, pool, stats));
-      return EvalDifference(left, right, stats);
+      LCP_ASSIGN_OR_RETURN(ColumnBatch left,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
+      LCP_ASSIGN_OR_RETURN(ColumnBatch right,
+                           EvaluateRaVectorized(*expr.children()[1], env, pool,
+                                                stats, morsels));
+      return EvalDifference(left, right, morsels, stats);
     }
     case RaExpr::Op::kRename: {
-      LCP_ASSIGN_OR_RETURN(
-          ColumnBatch child,
-          EvaluateRaVectorized(*expr.children()[0], env, pool, stats));
+      LCP_ASSIGN_OR_RETURN(ColumnBatch child,
+                           EvaluateRaVectorized(*expr.children()[0], env, pool,
+                                                stats, morsels));
       return EvalRename(child, expr.renames(), stats);
     }
   }

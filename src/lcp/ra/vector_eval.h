@@ -8,6 +8,7 @@
 #include "lcp/base/result.h"
 #include "lcp/ra/batch.h"
 #include "lcp/ra/expr.h"
+#include "lcp/ra/morsel.h"
 
 namespace lcp {
 
@@ -24,6 +25,11 @@ struct ExecStats {
   size_t access_batches = 0;   ///< Batched source dispatches issued.
   size_t access_bindings = 0;  ///< Distinct bindings across those dispatches.
   size_t max_batch_rows = 0;   ///< Widest operator output batch observed.
+  size_t morsels = 0;          ///< Cache-sized morsels launched in parallel.
+  /// Partitions across parallel hash builds (join/difference builds and
+  /// hash-partitioned dedup passes). 0 under exec_parallelism=1.
+  size_t parallel_build_partitions = 0;
+  size_t exec_workers = 0;     ///< Execution workers used (1 = sequential).
 };
 
 /// The vectorized middleware environment: columnar batches by table name,
@@ -39,9 +45,25 @@ using BatchEnv = std::unordered_map<std::string, ColumnBatch>;
 ///
 /// `pool` is the shared dictionary (selection constants are interned into
 /// it); `stats` (optional) accumulates per-operator batch accounting.
+/// `morsels` (optional) turns on morsel-driven parallelism (DESIGN.md §13):
+/// large batches are split into cache-sized morsels whose per-worker
+/// outputs are concatenated in canonical order, so the result — rows,
+/// order, and stats other than the morsel counters — is identical to the
+/// sequential pass at any worker count.
 Result<ColumnBatch> EvaluateRaVectorized(const RaExpr& expr,
                                          const BatchEnv& env, TermPool& pool,
-                                         ExecStats* stats = nullptr);
+                                         ExecStats* stats = nullptr,
+                                         const MorselContext* morsels = nullptr);
+
+/// Batch dedup that goes morsel-parallel for large inputs: a
+/// hash-partitioned first-occurrence scan where every partition owner scans
+/// rows in global order and flags survivors (equal rows share a hash, hence
+/// a partition, so the flags match the sequential pass exactly). Falls back
+/// to ColumnBatch::Deduplicated for small inputs or a null context. Also
+/// used by the executor's access-output store.
+ColumnBatch DeduplicatedMorsel(const ColumnBatch& batch,
+                               const MorselContext* ctx, ExecStats* stats,
+                               size_t* dropped);
 
 }  // namespace lcp
 

@@ -1,0 +1,349 @@
+// Differential tests for the morsel-driven parallel executor: at every
+// worker count the engine must be bit-identical to the single-threaded
+// vectorized engine and to the row oracle — same tables in the same order,
+// same statuses, and the same retry/fault accounting — because parallelism
+// only changes who computes a morsel, never what is computed (DESIGN.md
+// §13). Tiny morsel_rows settings force the parallel code paths on the
+// small randomized scenarios. LCP_EXEC_STRESS_ITERS scales the seeds, and
+// the CI thread-sanitize job runs this binary under TSan.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "exec_scenario.h"
+#include "lcp/base/budget.h"
+#include "lcp/base/clock.h"
+#include "lcp/ra/batch.h"
+#include "lcp/runtime/executor.h"
+#include "lcp/runtime/faults.h"
+
+namespace lcp {
+namespace {
+
+using exec_testing::ExpectIdentical;
+using exec_testing::ScenarioBuilder;
+using exec_testing::StressIters;
+
+constexpr size_t kTinyMorselRows = 4;  // forces parallel paths on ~30-row tables
+
+/// Operator-level stats must also match across worker counts — everything
+/// except the counters that *describe* the parallelism itself.
+void ExpectExecStatsEqual(const ExecStats& a, const ExecStats& b, int seed) {
+  EXPECT_EQ(a.batches, b.batches) << "seed " << seed;
+  EXPECT_EQ(a.rows_in, b.rows_in) << "seed " << seed;
+  EXPECT_EQ(a.rows_out, b.rows_out) << "seed " << seed;
+  EXPECT_EQ(a.probe_hits, b.probe_hits) << "seed " << seed;
+  EXPECT_EQ(a.dedup_drops, b.dedup_drops) << "seed " << seed;
+  EXPECT_EQ(a.access_batches, b.access_batches) << "seed " << seed;
+  EXPECT_EQ(a.access_bindings, b.access_bindings) << "seed " << seed;
+  EXPECT_EQ(a.max_batch_rows, b.max_batch_rows) << "seed " << seed;
+}
+
+TEST(RowHashIndexTest, PartitionedBuildMatchesSequential) {
+  // The partitioned parallel build must reproduce the sequential
+  // Insert-in-row-order chain layout bit for bit, for every partitioning.
+  std::mt19937_64 prng(42);
+  for (int round = 0; round < 20; ++round) {
+    const size_t n = 1 + static_cast<size_t>(prng() % 300);
+    std::vector<size_t> hashes(n);
+    for (size_t& h : hashes) h = prng();  // full-width hashes, natural skew
+
+    RowHashIndex sequential(n);
+    for (size_t i = 0; i < n; ++i) {
+      sequential.Insert(hashes[i], static_cast<uint32_t>(i));
+    }
+
+    for (size_t parts : {1, 2, 3, 4, 7}) {
+      RowHashIndex partitioned(n);
+      ASSERT_EQ(partitioned.bucket_count(), sequential.bucket_count());
+      partitioned.PrepareDense(n);
+      const size_t buckets = partitioned.bucket_count();
+      for (size_t p = 0; p < parts; ++p) {
+        partitioned.FillBucketRange(hashes, buckets * p / parts,
+                                    buckets * (p + 1) / parts);
+      }
+      // Identical candidate chains (rows in the same order) for every hash.
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<uint32_t> seq_chain, par_chain;
+        sequential.ForEachCandidate(hashes[i], [&](uint32_t row) {
+          seq_chain.push_back(row);
+          return false;
+        });
+        partitioned.ForEachCandidate(hashes[i], [&](uint32_t row) {
+          par_chain.push_back(row);
+          return false;
+        });
+        ASSERT_EQ(seq_chain, par_chain)
+            << "round " << round << " parts " << parts << " row " << i;
+      }
+    }
+  }
+}
+
+TEST(ExecParallelDifferentialTest, FaultFreeRunsAreBitIdenticalAcrossWorkers) {
+  const int iters = StressIters(25);
+  for (int seed = 0; seed < iters; ++seed) {
+    ScenarioBuilder builder(static_cast<uint64_t>(seed) * 131 + 1);
+    Schema schema;
+    builder.BuildSchema(schema);
+    Instance instance = builder.BuildInstance(schema);
+    Plan plan = builder.BuildPlan();
+
+    auto run = [&](int workers) {
+      SimulatedSource source(&schema, &instance);
+      ExecutionOptions opts;
+      opts.engine = ExecutionEngine::kVectorized;
+      opts.exec_parallelism = workers;
+      opts.morsel_rows = kTinyMorselRows;
+      return ExecutePlan(plan, source, opts);
+    };
+
+    SimulatedSource row_source(&schema, &instance);
+    ExecutionOptions row_opts;
+    row_opts.engine = ExecutionEngine::kRowOracle;
+    auto row = ExecutePlan(plan, row_source, row_opts);
+    auto seq = run(1);
+    for (int workers : {2, 4}) {
+      auto par = run(workers);
+      ASSERT_EQ(seq.ok(), par.ok())
+          << "seed " << seed << " workers " << workers
+          << ": seq=" << seq.status().message()
+          << " par=" << par.status().message();
+      ASSERT_EQ(row.ok(), par.ok()) << "seed " << seed;
+      if (!seq.ok()) {
+        EXPECT_EQ(seq.status().code(), par.status().code()) << "seed " << seed;
+        EXPECT_EQ(seq.status().message(), par.status().message())
+            << "seed " << seed;
+        continue;
+      }
+      ExpectIdentical(*row, *par, seed);
+      ExpectIdentical(*seq, *par, seed);
+      ExpectExecStatsEqual(seq->exec, par->exec, seed);
+      EXPECT_EQ(par->exec.exec_workers, static_cast<size_t>(workers))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(ExecParallelDifferentialTest, SeededFaultRunsAreBitIdenticalAcrossWorkers) {
+  const int iters = StressIters(20);
+  for (int seed = 0; seed < iters; ++seed) {
+    ScenarioBuilder builder(static_cast<uint64_t>(seed) * 977 + 3);
+    Schema schema;
+    builder.BuildSchema(schema);
+    Instance instance = builder.BuildInstance(schema);
+    Plan plan = builder.BuildPlan();
+
+    FaultProfile profile;
+    profile.defaults.transient_failure_rate = 0.3;
+    profile.defaults.latency_base_micros = 5;
+    if (seed % 2 == 1) profile.defaults.truncation_rate = 0.15;
+    if (seed % 5 == 0) {
+      profile.permanent_outages.insert(schema.num_access_methods() - 1);
+    }
+
+    ExecutionOptions opts;
+    opts.engine = ExecutionEngine::kVectorized;
+    opts.morsel_rows = kTinyMorselRows;
+    opts.retry.max_attempts = (seed % 3 == 0) ? 2 : 16;
+    opts.retry.initial_backoff_micros = 10;
+    opts.retry.jitter_fraction = 0.4;
+    opts.retry.jitter_seed = static_cast<uint64_t>(seed);
+    opts.retry.best_effort = (seed % 2 == 0);
+
+    auto run = [&](int workers, FaultStats* fstats) {
+      SimulatedSource base(&schema, &instance);
+      VirtualClock clock;
+      FaultInjectingSource faulty(&base, profile,
+                                  static_cast<uint64_t>(seed) * 17 + 5, &clock);
+      ExecutionOptions o = opts;
+      o.clock = &clock;
+      o.exec_parallelism = workers;
+      auto result = ExecutePlan(plan, faulty, o);
+      *fstats = faulty.stats();
+      return result;
+    };
+
+    FaultStats seq_fs;
+    auto seq = run(1, &seq_fs);
+    for (int workers : {2, 4}) {
+      FaultStats par_fs;
+      auto par = run(workers, &par_fs);
+      ASSERT_EQ(seq.ok(), par.ok())
+          << "seed " << seed << " workers " << workers
+          << ": seq=" << seq.status().message()
+          << " par=" << par.status().message();
+      // Identical seeded fault schedules: parallel dispatch must issue the
+      // same access sequence, so the injector drew the same numbers.
+      EXPECT_EQ(seq_fs.attempts, par_fs.attempts) << "seed " << seed;
+      EXPECT_EQ(seq_fs.injected_failures, par_fs.injected_failures)
+          << "seed " << seed;
+      EXPECT_EQ(seq_fs.truncations, par_fs.truncations) << "seed " << seed;
+      EXPECT_EQ(seq_fs.simulated_latency_micros,
+                par_fs.simulated_latency_micros)
+          << "seed " << seed;
+      if (!seq.ok()) {
+        EXPECT_EQ(seq.status().code(), par.status().code()) << "seed " << seed;
+        EXPECT_EQ(seq.status().message(), par.status().message())
+            << "seed " << seed;
+        continue;
+      }
+      ExpectIdentical(*seq, *par, seed);
+      ExpectExecStatsEqual(seq->exec, par->exec, seed);
+    }
+  }
+}
+
+TEST(ExecParallelDifferentialTest, BreakerScenariosStayIdenticalAcrossWorkers) {
+  // Breaker armed → the executor degrades to per-binding dispatch; the
+  // worker-count invariance must hold on that path too.
+  const int iters = StressIters(8);
+  for (int seed = 0; seed < iters; ++seed) {
+    ScenarioBuilder builder(static_cast<uint64_t>(seed) * 53 + 11);
+    Schema schema;
+    builder.BuildSchema(schema);
+    Instance instance = builder.BuildInstance(schema);
+    Plan plan = builder.BuildPlan();
+
+    FaultProfile profile;
+    profile.permanent_outages.insert(schema.num_access_methods() - 1);
+
+    auto run = [&](int workers) {
+      SimulatedSource base(&schema, &instance);
+      FaultInjectingSource faulty(&base, profile, 3);
+      ExecutionOptions o;
+      o.engine = ExecutionEngine::kVectorized;
+      o.exec_parallelism = workers;
+      o.morsel_rows = kTinyMorselRows;
+      o.retry.max_attempts = 2;
+      o.retry.initial_backoff_micros = 0;
+      o.retry.breaker_threshold = 3;
+      o.retry.best_effort = true;
+      return ExecutePlan(plan, faulty, o);
+    };
+
+    auto seq = run(1);
+    for (int workers : {2, 4}) {
+      auto par = run(workers);
+      ASSERT_EQ(seq.ok(), par.ok()) << "seed " << seed << " workers " << workers;
+      if (!seq.ok()) {
+        EXPECT_EQ(seq.status().code(), par.status().code()) << "seed " << seed;
+        continue;
+      }
+      ExpectIdentical(*seq, *par, seed);
+      EXPECT_EQ(seq->retry.breaker_trips, par->retry.breaker_trips)
+          << "seed " << seed;
+      EXPECT_EQ(seq->retry.breaker_short_circuits,
+                par->retry.breaker_short_circuits)
+          << "seed " << seed;
+    }
+  }
+}
+
+/// A fixed join-heavy plan big enough that morsel_rows=3 splits every
+/// operator: 60 base facts, a self-join through a keyed access, dedup on
+/// the union. The schema must be fully built before the Instance is
+/// constructed, so facts are filled in separately (FillBigFixedFacts).
+Plan BigFixedPlan(Schema& schema) {
+  RelationId r = schema.AddRelation("R", 2).value();
+  RelationId s = schema.AddRelation("S", 2).value();
+  schema.AddAccessMethod("mt_r_free", r, {}, 2.0).value();
+  schema.AddAccessMethod("mt_s_by0", s, {0}, 5.0).value();
+
+  Plan plan;
+  AccessCommand first;
+  first.method = 0;
+  first.output_table = "t0";
+  first.output_columns = {{"a", 0}, {"b", 1}};
+  plan.commands.push_back(first);
+  AccessCommand second;
+  second.method = 1;
+  second.input = RaExpr::Project(RaExpr::TempScan("t0"), {"b"});
+  second.input_binding = {{"b", 0}};
+  second.output_table = "t1";
+  second.output_columns = {{"b", 0}, {"c", 1}};
+  plan.commands.push_back(second);
+  plan.commands.push_back(QueryCommand{
+      "t2", RaExpr::Join(RaExpr::TempScan("t0"), RaExpr::TempScan("t1"))});
+  plan.commands.push_back(QueryCommand{
+      "t3", RaExpr::Union(RaExpr::Project(RaExpr::TempScan("t2"), {"b", "c"}),
+                          RaExpr::TempScan("t1"))});
+  plan.output_table = "t3";
+  plan.output_attrs = {"b", "c"};
+  return plan;
+}
+
+void FillBigFixedFacts(Instance& instance) {
+  for (int i = 0; i < 60; ++i) {
+    instance.AddFact(0, Tuple{Value::Int(i), Value::Int(i % 6)});
+    instance.AddFact(1, Tuple{Value::Int(i % 6), Value::Int(i % 9)});
+  }
+}
+
+TEST(ExecParallelTest, TinyMorselsForceManyMorsels) {
+  Schema schema;
+  Plan plan = BigFixedPlan(schema);
+  Instance instance(&schema);
+  FillBigFixedFacts(instance);
+
+  SimulatedSource seq_source(&schema, &instance);
+  ExecutionOptions seq_opts;
+  auto seq = ExecutePlan(plan, seq_source, seq_opts);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+
+  SimulatedSource par_source(&schema, &instance);
+  ExecutionOptions par_opts;
+  par_opts.exec_parallelism = 4;
+  par_opts.morsel_rows = 3;
+  auto par = ExecutePlan(plan, par_source, par_opts);
+  ASSERT_TRUE(par.ok()) << par.status();
+
+  ExpectIdentical(*seq, *par, 0);
+  ExpectExecStatsEqual(seq->exec, par->exec, 0);
+  // Sequential runs report no parallel activity; the 4-worker run must
+  // have split work into many morsels and partitioned its hash builds.
+  EXPECT_EQ(seq->exec.morsels, 0u);
+  EXPECT_EQ(seq->exec.parallel_build_partitions, 0u);
+  EXPECT_EQ(seq->exec.exec_workers, 1u);
+  EXPECT_GT(par->exec.morsels, 4u);
+  EXPECT_GT(par->exec.parallel_build_partitions, 0u);
+  EXPECT_EQ(par->exec.exec_workers, 4u);
+}
+
+TEST(ExecParallelTest, PreCancelledTokenAbortsIdentically) {
+  // Cancellation is checked at command and morsel boundaries; a token that
+  // is already tripped must abort with the same status at every worker
+  // count, never a partial ok result.
+  Schema schema;
+  Plan plan = BigFixedPlan(schema);
+  Instance instance(&schema);
+  FillBigFixedFacts(instance);
+
+  CancelToken token;
+  token.Cancel(StatusCode::kCancelled);
+
+  auto run = [&](int workers) {
+    SimulatedSource source(&schema, &instance);
+    ExecutionOptions opts;
+    opts.exec_parallelism = workers;
+    opts.morsel_rows = 3;
+    opts.cancel = &token;
+    return ExecutePlan(plan, source, opts);
+  };
+
+  auto seq = run(1);
+  auto par = run(4);
+  ASSERT_FALSE(seq.ok());
+  ASSERT_FALSE(par.ok());
+  EXPECT_EQ(seq.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(par.status().code(), seq.status().code());
+  EXPECT_EQ(par.status().message(), seq.status().message());
+  EXPECT_EQ(seq.status().message(), "plan execution cancelled between commands");
+}
+
+}  // namespace
+}  // namespace lcp
